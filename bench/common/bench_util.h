@@ -1,0 +1,81 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) the paper's reference numbers, (b) the measured
+// numbers from this reproduction, and (c) a PASS/DIVERGE judgement on the
+// qualitative shape (who wins, roughly by how much). Absolute seconds are
+// not expected to match the authors' Xeon testbed.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "exec/testbed.h"
+
+namespace dyrs::bench {
+
+/// The paper's testbed (§V-A): 7 datanodes, 1TB HDD (~160MiB/s), 128GB
+/// RAM, 10GbE, HDFS 256MB blocks, 3-way replication.
+inline exec::TestbedConfig paper_config(exec::Scheme scheme, std::uint64_t seed = 1) {
+  exec::TestbedConfig c;
+  c.num_nodes = 7;
+  c.disk_bandwidth = mib_per_sec(160);
+  c.seek_alpha = 0.15;
+  c.node_memory = gib(128);
+  c.block_size = mib(256);
+  c.replication = 3;
+  c.placement_seed = seed;
+  c.map_slots_per_node = 12;  // one per hardware thread, as Tez would
+  c.reduce_slots_per_node = 6;
+  c.scheme = scheme;
+  c.master.slave.heartbeat_interval = seconds(1);
+  c.master.slave.reference_block = c.block_size;
+  c.master.seed = seed + 17;
+  return c;
+}
+
+/// The node the paper handicaps with dd interference.
+inline constexpr int kSlowNode = 0;
+
+inline void print_header(const std::string& title, const std::string& paper_claim) {
+  std::cout << "\n==== " << title << " ====\n";
+  std::cout << "paper: " << paper_claim << "\n\n";
+}
+
+inline void print_shape_check(bool ok, const std::string& what) {
+  std::cout << (ok ? "[SHAPE OK]   " : "[DIVERGES]   ") << what << "\n";
+}
+
+inline double speedup(double baseline_s, double other_s) {
+  return baseline_s > 0 ? 1.0 - other_s / baseline_s : 0.0;
+}
+
+/// Warms up per-slave migration-time estimators by migrating (and then
+/// evicting) a scratch file before the measured workload. The paper's
+/// datanodes are long-running daemons whose estimates are already warm
+/// when an experiment starts; a cold estimator assumes every disk runs at
+/// its unloaded rate and needs one round of migrations to discover a slow
+/// node. Consumes `settle` seconds of simulated time.
+inline void warm_up_estimators(exec::Testbed& tb, Bytes bytes = gib(2),
+                               SimDuration settle = seconds(60)) {
+  if (tb.master() == nullptr) return;
+  const std::string scratch = "/__estimator_warmup";
+  tb.load_file(scratch, bytes);
+  tb.master()->migrate_files(JobId(1'000'000), {scratch}, core::EvictionMode::Explicit);
+  tb.simulator().run_until(tb.simulator().now() + settle);
+  tb.master()->evict_job(JobId(1'000'000));
+  tb.remove_file(scratch);
+}
+
+/// When DYRS_BENCH_CSV_DIR is set, also writes `table` to
+/// $DYRS_BENCH_CSV_DIR/<name>.csv for external plotting.
+inline void maybe_dump_csv(const std::string& name, const TextTable& table) {
+  const char* dir = std::getenv("DYRS_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  std::ofstream out(std::string(dir) + "/" + name + ".csv");
+  if (out) table.print_csv(out);
+}
+
+}  // namespace dyrs::bench

@@ -1,0 +1,97 @@
+// Shared harness for the SWIM-workload experiments (Table I, Figs 5-7).
+//
+// Runs the 200-job SWIM-like workload under one scheme on the paper
+// testbed (slow node included) and extracts everything the benches need
+// before the testbed is torn down: job/task metrics, per-node migrated-
+// memory usage, and the "hypothetical instant migration" footprint derived
+// from the job trace (Fig 7b).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bench/common/bench_util.h"
+#include "common/timeseries.h"
+#include "workloads/swim.h"
+
+namespace dyrs::bench {
+
+struct SwimRun {
+  exec::Scheme scheme;
+  exec::Metrics metrics;
+  double mean_job_s = 0;
+  double mean_map_task_s = 0;
+  double bytes_migrated = 0;  // completed migration traffic (0 for HDFS/oracle)
+  /// Pinned migrated bytes over time, per node (Fig 7a for DYRS).
+  std::map<NodeId, TimeSeries> memory_usage;
+  /// Footprint of the hypothetical scheme that migrates one replica of the
+  /// whole input at submission and evicts at completion (Fig 7b).
+  std::map<NodeId, TimeSeries> hypothetical_usage;
+  SimTime makespan = 0;
+  /// Time the measured workload began (after estimator warm-up); memory
+  /// statistics should be computed from here.
+  SimTime workload_start = 0;
+};
+
+inline wl::SwimConfig default_swim_config() { return {}; }
+
+inline SwimRun run_swim(exec::Scheme scheme,
+                        const wl::SwimConfig& swim_config = default_swim_config()) {
+  auto workload = wl::SwimWorkload::generate(swim_config);
+  exec::Testbed tb(paper_config(scheme));
+  tb.add_persistent_interference(NodeId(kSlowNode), 2);
+  warm_up_estimators(tb);
+  const SimTime workload_start = tb.simulator().now();
+  const double warmup_bytes = tb.master() != nullptr ? tb.master()->bytes_migrated() : 0.0;
+
+  exec::JobSpec base;
+  base.selectivity = 0.1;  // overridden per job by explicit shuffle bytes
+  base.platform_overhead = seconds(5);
+  base.task_overhead = milliseconds(200);
+  workload.install(tb, base, workload_start);
+  const SimTime end = tb.run(hours(48));
+
+  SwimRun run;
+  run.scheme = scheme;
+  run.metrics = tb.metrics();
+  run.mean_job_s = tb.metrics().mean_job_duration_s();
+  run.mean_map_task_s = tb.metrics().mean_map_task_duration_s();
+  run.makespan = end;
+  run.workload_start = workload_start;
+  if (tb.master() != nullptr) {
+    run.bytes_migrated = tb.master()->bytes_migrated() - warmup_bytes;
+  }
+  for (NodeId id : tb.cluster().node_ids()) {
+    run.memory_usage.emplace(id, tb.cluster().node(id).memory().usage_series());
+  }
+
+  // Hypothetical instant-migration footprint (Fig 7b): at submission, pin
+  // one replica of every input block; at job completion, evict. Derived
+  // from the job records and the actual block placement.
+  std::map<NodeId, std::map<SimTime, double>> deltas;
+  for (const auto& job : tb.metrics().jobs()) {
+    // SWIM job names map 1:1 to their input files.
+    const std::string file = "/swim/input-" + job.name.substr(std::string("swim-").size());
+    if (!tb.namenode().ns().exists(file)) continue;
+    for (BlockId block : tb.namenode().ns().file(file).blocks) {
+      const auto& replicas = tb.namenode().raw_replicas(block);
+      if (replicas.empty()) continue;
+      const NodeId holder = replicas.front();
+      const auto size = static_cast<double>(tb.namenode().ns().block(block).size);
+      deltas[holder][job.submitted] += size;
+      deltas[holder][job.finished] -= size;
+    }
+  }
+  for (auto& [node, events] : deltas) {
+    TimeSeries series("hypothetical-" + std::to_string(node.value()));
+    double level = 0;
+    for (const auto& [t, d] : events) {
+      level += d;
+      series.record(t, level);
+    }
+    run.hypothetical_usage.emplace(node, std::move(series));
+  }
+  return run;
+}
+
+}  // namespace dyrs::bench

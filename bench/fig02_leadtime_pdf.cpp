@@ -1,0 +1,43 @@
+// Fig 2 — PDF of the lead-time / read-time ratio across jobs in the Google
+// trace. The paper reports that 81% of jobs have enough lead-time to
+// migrate their entire input into memory, with a mean lead-time of 8.8s
+// (§II-C1).
+#include <iostream>
+
+#include "bench/common/bench_util.h"
+#include "common/table.h"
+#include "workloads/google_trace.h"
+
+using namespace dyrs;
+
+int main() {
+  bench::print_header("Fig 2: PDF of lead-time/read-time ratio",
+                      "81% of jobs have lead-time >= read-time; mean lead-time 8.8s");
+
+  wl::GoogleTraceConfig config;
+  config.num_jobs = 20000;
+  auto trace = wl::GoogleTrace::generate(config);
+
+  auto ratios = trace.lead_to_read_ratios();
+  // Probability density over log-spaced ratio bins (Fig 2's x-axis spans
+  // orders of magnitude).
+  TextTable table({"ratio bin", "fraction of jobs", "pdf"});
+  const double edges[] = {0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0, 100.0, 1e12};
+  for (std::size_t i = 0; i + 1 < std::size(edges); ++i) {
+    const double frac = ratios.cdf_at(edges[i + 1]) - ratios.cdf_at(edges[i]);
+    table.add_row({TextTable::num(edges[i], 2) + " - " + TextTable::num(edges[i + 1], 2),
+                   TextTable::percent(frac, 1), ascii_bar(frac, 0.4, 30)});
+  }
+  table.print(std::cout);
+
+  const double sufficient = trace.fraction_with_sufficient_lead_time();
+  const double mean_lead = trace.mean_lead_time_s();
+  std::cout << "\njobs with lead-time >= read-time: " << TextTable::percent(sufficient, 1)
+            << "  (paper: 81%)\n";
+  std::cout << "mean lead-time: " << TextTable::num(mean_lead, 1) << "s  (paper: 8.8s)\n";
+
+  bench::print_shape_check(sufficient > 0.75 && sufficient < 0.87,
+                           "~81% of jobs have sufficient lead-time");
+  bench::print_shape_check(mean_lead > 7.5 && mean_lead < 10.0, "mean lead-time near 8.8s");
+  return 0;
+}

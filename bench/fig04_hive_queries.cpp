@@ -1,0 +1,98 @@
+// Fig 4 — Hive query durations (normalized to HDFS) and their input sizes,
+// for the four file-system configurations, with one handicapped node in
+// the cluster (§V-D). The paper reports: HDFS-Inputs-in-RAM ~50% average
+// speedup, DYRS up to 48% (query 15) and 36% on average, Ignem slower than
+// HDFS because its random replica selection does not avoid the slow node.
+#include <iostream>
+#include <map>
+
+#include "bench/common/bench_util.h"
+#include "common/table.h"
+#include "workloads/tpcds.h"
+
+using namespace dyrs;
+
+namespace {
+
+std::vector<wl::QueryResult> run_scheme(exec::Scheme scheme) {
+  std::vector<wl::QueryResult> results;
+  for (const auto& query : wl::tpcds_queries()) {
+    // Each query runs independently on a fresh cluster (the paper flushes
+    // the buffer cache between runs).
+    exec::Testbed tb(bench::paper_config(scheme));
+    tb.add_persistent_interference(NodeId(bench::kSlowNode), /*width=*/2);
+    bench::warm_up_estimators(tb);
+    wl::QueryRunner runner(tb);
+    runner.base_spec.platform_overhead = seconds(5);
+    runner.base_spec.task_overhead = milliseconds(200);
+    bool done = false;
+    wl::QueryResult result;
+    runner.run(query, [&](const wl::QueryResult& r) {
+      result = r;
+      done = true;
+    });
+    tb.run();
+    if (!done) {
+      std::cerr << "query " << query.name << " did not finish under " << to_string(scheme)
+                << "\n";
+      std::exit(1);
+    }
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig 4: Hive query durations (normalized to HDFS) + input sizes",
+      "DYRS: up to 48% (q15), 36% average; InRAM ~50% average; Ignem slower than HDFS");
+
+  const exec::Scheme schemes[] = {exec::Scheme::Hdfs, exec::Scheme::InputsInRam,
+                                  exec::Scheme::Ignem, exec::Scheme::Dyrs};
+  std::map<exec::Scheme, std::vector<wl::QueryResult>> results;
+  for (auto scheme : schemes) {
+    std::cerr << "running suite under " << to_string(scheme) << "...\n";
+    results[scheme] = run_scheme(scheme);
+  }
+
+  const auto& hdfs = results[exec::Scheme::Hdfs];
+  TextTable table({"query", "input", "HDFS (s)", "InRAM", "Ignem", "DYRS", "DYRS speedup"});
+  double sum_dyrs = 0, sum_ram = 0, sum_ignem = 0, best_dyrs = 0;
+  std::string best_query;
+  for (std::size_t i = 0; i < hdfs.size(); ++i) {
+    const double base = hdfs[i].duration_s();
+    const double ram = results[exec::Scheme::InputsInRam][i].duration_s();
+    const double ignem = results[exec::Scheme::Ignem][i].duration_s();
+    const double dyrs = results[exec::Scheme::Dyrs][i].duration_s();
+    const double sp = bench::speedup(base, dyrs);
+    sum_dyrs += sp;
+    sum_ram += bench::speedup(base, ram);
+    sum_ignem += bench::speedup(base, ignem);
+    if (sp > best_dyrs) {
+      best_dyrs = sp;
+      best_query = hdfs[i].name;
+    }
+    table.add_row({hdfs[i].name, TextTable::num(to_gib(hdfs[i].input_size), 1) + "GB",
+                   TextTable::num(base, 1), TextTable::num(ram / base, 2) + "x",
+                   TextTable::num(ignem / base, 2) + "x", TextTable::num(dyrs / base, 2) + "x",
+                   TextTable::percent(sp, 0)});
+  }
+  table.print(std::cout);
+  bench::maybe_dump_csv("fig04_hive_queries", table);
+
+  const double n = static_cast<double>(hdfs.size());
+  std::cout << "\naverage speedup vs HDFS:  DYRS " << TextTable::percent(sum_dyrs / n, 0)
+            << " (paper 36%),  InRAM " << TextTable::percent(sum_ram / n, 0)
+            << " (paper ~50%),  Ignem " << TextTable::percent(sum_ignem / n, 0)
+            << " (paper: negative)\n";
+  std::cout << "best DYRS speedup: " << TextTable::percent(best_dyrs, 0) << " on " << best_query
+            << " (paper: 48% on q15)\n";
+
+  bench::print_shape_check(sum_dyrs / n > 0.20, "DYRS delivers a large average speedup");
+  bench::print_shape_check(sum_ram / n > sum_dyrs / n, "InRAM upper-bounds DYRS");
+  bench::print_shape_check(sum_ignem / n < 0.05, "Ignem fails to speed up (slow node)");
+  bench::print_shape_check(best_dyrs > 0.30, "best query sees a ~48%-scale speedup");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 6 — Map task durations in the SWIM workload (§V-E2).
+//
+// Paper: mapper tasks run 1.8x faster under DYRS than with HDFS. Ignem
+// produces a bimodal distribution — very short tasks on the fast nodes and
+// very long ones on the slow node — with a worse average.
+#include <iostream>
+
+#include "bench/common/swim_harness.h"
+#include "common/summary.h"
+#include "common/table.h"
+
+using namespace dyrs;
+
+namespace {
+
+SampleSet map_durations(const bench::SwimRun& run) {
+  SampleSet s;
+  for (const auto& t : run.metrics.tasks()) {
+    if (t.phase == exec::TaskPhase::Map) s.add(t.duration_s());
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 6: SWIM map-task durations",
+                      "mapper tasks 1.8x faster under DYRS than HDFS; Ignem's slow-node "
+                      "tasks are very long");
+
+  auto hdfs = bench::run_swim(exec::Scheme::Hdfs);
+  auto dyrs = bench::run_swim(exec::Scheme::Dyrs);
+  auto ignem = bench::run_swim(exec::Scheme::Ignem);
+
+  auto dh = map_durations(hdfs);
+  auto dd = map_durations(dyrs);
+  auto di = map_durations(ignem);
+
+  TextTable table({"percentile", "HDFS (s)", "DYRS (s)", "Ignem (s)"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    table.add_row({TextTable::percent(q, 0), TextTable::num(dh.quantile(q), 2),
+                   TextTable::num(dd.quantile(q), 2), TextTable::num(di.quantile(q), 2)});
+  }
+  table.print(std::cout);
+  bench::maybe_dump_csv("fig06_map_tasks", table);
+
+  std::cout << "\nmean map-task duration: HDFS " << TextTable::num(hdfs.mean_map_task_s, 2)
+            << "s, DYRS " << TextTable::num(dyrs.mean_map_task_s, 2) << "s, Ignem "
+            << TextTable::num(ignem.mean_map_task_s, 2) << "s\n";
+  const double ratio = hdfs.mean_map_task_s / dyrs.mean_map_task_s;
+  std::cout << "DYRS map speedup: " << TextTable::num(ratio, 2) << "x  (paper: 1.8x)\n";
+  std::cout << "memory-read fraction under DYRS: "
+            << TextTable::percent(dyrs.metrics.memory_read_fraction(), 0) << "\n";
+
+  bench::print_shape_check(ratio > 1.4, "maps substantially faster under DYRS (paper 1.8x)");
+  bench::print_shape_check(ignem.mean_map_task_s > dyrs.mean_map_task_s,
+                           "Ignem's average map duration is worse than DYRS's");
+  bench::print_shape_check(di.quantile(0.99) > dd.quantile(0.99) * 1.5,
+                           "Ignem's tail tasks (slow node) are much longer");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fig 8 — Distribution of reads on DataNodes during a Sort job (§V-F1).
+//
+// Paper: with a homogeneous cluster every scheme spreads reads roughly
+// evenly. With one slowed node, DYRS and HDFS adapt (fewer reads on the
+// slow node) while Ignem still balances equally because it binds
+// migrations to random replicas immediately and gets no feedback.
+#include <iostream>
+#include <map>
+
+#include "bench/common/bench_util.h"
+#include "common/table.h"
+#include "workloads/sort.h"
+
+using namespace dyrs;
+
+namespace {
+
+std::map<NodeId, long> run_sort_reads(exec::Scheme scheme, bool slow_node) {
+  exec::Testbed tb(bench::paper_config(scheme));
+  if (slow_node) tb.add_persistent_interference(NodeId(bench::kSlowNode), 2);
+  if (slow_node) bench::warm_up_estimators(tb);
+  tb.load_file("/sort/input", gib(10));
+  wl::SortConfig sort;
+  sort.input = gib(10);
+  sort.platform_overhead = seconds(8);
+  tb.submit(wl::sort_job("/sort/input", sort));
+  tb.run();
+
+  // "Reads on each datanode": block-sized transfers served by that node —
+  // task reads (disk or memory) plus completed migration reads.
+  std::map<NodeId, long> reads;
+  for (NodeId id : tb.cluster().node_ids()) {
+    reads[id] = tb.client().reads_served(id);
+  }
+  if (tb.master() != nullptr) {
+    for (const auto& r : tb.master()->records()) ++reads[r.node];
+  }
+  return reads;
+}
+
+void print_distribution(const std::string& label,
+                        const std::map<exec::Scheme, std::map<NodeId, long>>& by_scheme) {
+  std::cout << "\n--- " << label << " ---\n";
+  TextTable table({"node", "HDFS", "Ignem", "DYRS"});
+  for (const auto& [node, count] : by_scheme.begin()->second) {
+    table.add_row({(node == NodeId(bench::kSlowNode) ? "node0 (slow)" :
+                    "node" + std::to_string(node.value())),
+                   std::to_string(by_scheme.at(exec::Scheme::Hdfs).at(node)),
+                   std::to_string(by_scheme.at(exec::Scheme::Ignem).at(node)),
+                   std::to_string(by_scheme.at(exec::Scheme::Dyrs).at(node))});
+  }
+  table.print(std::cout);
+}
+
+double share_of_slow_node(const std::map<NodeId, long>& reads) {
+  long total = 0;
+  for (const auto& [node, c] : reads) total += c;
+  return total ? static_cast<double>(reads.at(NodeId(bench::kSlowNode))) / total : 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 8: reads per datanode, homogeneous vs one slow node",
+                      "DYRS and HDFS adapt to the slow node; Ignem balances equally");
+
+  const exec::Scheme schemes[] = {exec::Scheme::Hdfs, exec::Scheme::Ignem, exec::Scheme::Dyrs};
+  std::map<exec::Scheme, std::map<NodeId, long>> homogeneous, heterogeneous;
+  for (auto s : schemes) {
+    std::cerr << "sort under " << to_string(s) << " (homogeneous)...\n";
+    homogeneous[s] = run_sort_reads(s, false);
+    std::cerr << "sort under " << to_string(s) << " (slow node)...\n";
+    heterogeneous[s] = run_sort_reads(s, true);
+  }
+
+  print_distribution("homogeneous cluster (Fig 8a-style)", homogeneous);
+  print_distribution("one slow node (Fig 8b-style)", heterogeneous);
+
+  const double fair_share = 1.0 / 7.0;
+  const double dyrs_homog = share_of_slow_node(homogeneous[exec::Scheme::Dyrs]);
+  const double dyrs_slow = share_of_slow_node(heterogeneous[exec::Scheme::Dyrs]);
+  const double ignem_slow = share_of_slow_node(heterogeneous[exec::Scheme::Ignem]);
+  const double hdfs_slow = share_of_slow_node(heterogeneous[exec::Scheme::Hdfs]);
+
+  std::cout << "\nslow node's share of reads (fair share = "
+            << TextTable::percent(fair_share, 0) << "):\n";
+  std::cout << "  homogeneous DYRS: " << TextTable::percent(dyrs_homog, 0) << "\n";
+  std::cout << "  slow-node   DYRS: " << TextTable::percent(dyrs_slow, 0) << ", HDFS: "
+            << TextTable::percent(hdfs_slow, 0) << ", Ignem: "
+            << TextTable::percent(ignem_slow, 0) << "\n";
+
+  bench::print_shape_check(dyrs_homog > fair_share * 0.5 && dyrs_homog < fair_share * 1.6,
+                           "homogeneous: DYRS spreads reads roughly evenly");
+  bench::print_shape_check(dyrs_slow < ignem_slow * 0.7,
+                           "slow node: DYRS sheds load, Ignem does not");
+  bench::print_shape_check(ignem_slow > fair_share * 0.6,
+                           "Ignem keeps pushing near-fair share onto the slow node");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation — migration-ordering policy (the paper ships FIFO, §III, and
+// leaves alternative policies to future work; this implements and
+// evaluates SmallestJobFirst).
+//
+// Workload: one large job submitted just before a burst of small jobs —
+// the adversarial case for FIFO, whose pending list makes every small job
+// wait behind the large job's backlog. SJF migrates the small jobs'
+// single blocks first, so many more jobs start with fully memory-resident
+// inputs; the large job loses little because its migration tail was never
+// going to finish within its lead-time anyway.
+#include <iostream>
+
+#include "bench/common/bench_util.h"
+#include "common/table.h"
+
+using namespace dyrs;
+
+namespace {
+
+struct Outcome {
+  double mean_small_s = 0;
+  double large_s = 0;
+  double mean_all_s = 0;
+};
+
+Outcome run(core::MasterConfig::Ordering ordering) {
+  exec::TestbedConfig config = bench::paper_config(exec::Scheme::Dyrs);
+  config.master.ordering = ordering;
+  exec::Testbed tb(config);
+
+  tb.load_file("/big", gib(16));
+  exec::JobSpec big;
+  big.name = "big";
+  big.input_files = {"/big"};
+  big.selectivity = 0.1;
+  big.num_reducers = 8;
+  big.platform_overhead = seconds(6);
+  tb.submit(big);
+
+  for (int i = 0; i < 12; ++i) {
+    const std::string file = "/small-" + std::to_string(i);
+    tb.load_file(file, mib(256));
+    exec::JobSpec small;
+    small.name = "small-" + std::to_string(i);
+    small.input_files = {file};
+    small.selectivity = 0.1;
+    small.num_reducers = 1;
+    small.platform_overhead = seconds(6);
+    tb.submit_at(small, seconds(1) + milliseconds(100 * i));
+  }
+  tb.run();
+
+  Outcome out;
+  int smalls = 0;
+  for (const auto& job : tb.metrics().jobs()) {
+    out.mean_all_s += job.duration_s();
+    if (job.name == "big") {
+      out.large_s = job.duration_s();
+    } else {
+      out.mean_small_s += job.duration_s();
+      ++smalls;
+    }
+  }
+  out.mean_all_s /= static_cast<double>(tb.metrics().jobs().size());
+  out.mean_small_s /= smalls;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("ablation: migration ordering policy (FIFO vs SmallestJobFirst)",
+                      "future-work extension; paper ships FIFO");
+
+  auto fifo = run(core::MasterConfig::Ordering::Fifo);
+  auto sjf = run(core::MasterConfig::Ordering::SmallestJobFirst);
+
+  TextTable table({"policy", "mean small job (s)", "large job (s)", "mean all (s)"});
+  table.add_row({"FIFO", TextTable::num(fifo.mean_small_s, 1), TextTable::num(fifo.large_s, 1),
+                 TextTable::num(fifo.mean_all_s, 1)});
+  table.add_row({"SJF", TextTable::num(sjf.mean_small_s, 1), TextTable::num(sjf.large_s, 1),
+                 TextTable::num(sjf.mean_all_s, 1)});
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::print_shape_check(sjf.mean_small_s <= fifo.mean_small_s,
+                           "SJF does not hurt small jobs (usually helps)");
+  bench::print_shape_check(sjf.large_s < fifo.large_s * 1.15,
+                           "the large job pays little for SJF");
+  return 0;
+}

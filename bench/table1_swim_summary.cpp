@@ -1,0 +1,60 @@
+// Table I — Average job duration and speedup across all 200 jobs in the
+// SWIM workload, with one handicapped node (§V-E1).
+//
+// Paper values: HDFS 31.5s; HDFS-Inputs-in-RAM 16.9s (46% speedup);
+// Ignem 66.4s (-111%); DYRS 20.9s (33%).
+#include <iostream>
+
+#include "bench/common/swim_harness.h"
+#include "common/table.h"
+
+using namespace dyrs;
+
+int main() {
+  bench::print_header(
+      "Table I: SWIM average job duration & speedup",
+      "HDFS 31.5s | InRAM 16.9s (46%) | Ignem 66.4s (-111%) | DYRS 20.9s (33%)");
+
+  const exec::Scheme schemes[] = {exec::Scheme::Hdfs, exec::Scheme::InputsInRam,
+                                  exec::Scheme::Ignem, exec::Scheme::Dyrs};
+  std::map<exec::Scheme, bench::SwimRun> runs;
+  for (auto scheme : schemes) {
+    std::cerr << "running SWIM under " << to_string(scheme) << "...\n";
+    runs.emplace(scheme, bench::run_swim(scheme));
+  }
+  const double hdfs = runs.at(exec::Scheme::Hdfs).mean_job_s;
+
+  TextTable table({"", "Absolute Duration (s)", "Speedup w.r.t HDFS", "paper"});
+  table.add_row({"HDFS", TextTable::num(hdfs, 1), "", "31.5s"});
+  table.add_row({"HDFS-Inputs-in-RAM",
+                 TextTable::num(runs.at(exec::Scheme::InputsInRam).mean_job_s, 1),
+                 TextTable::percent(
+                     bench::speedup(hdfs, runs.at(exec::Scheme::InputsInRam).mean_job_s), 0),
+                 "16.9s (46%)"});
+  table.add_row({"Ignem", TextTable::num(runs.at(exec::Scheme::Ignem).mean_job_s, 1),
+                 TextTable::percent(
+                     bench::speedup(hdfs, runs.at(exec::Scheme::Ignem).mean_job_s), 0),
+                 "66.4s (-111%)"});
+  table.add_row({"DYRS", TextTable::num(runs.at(exec::Scheme::Dyrs).mean_job_s, 1),
+                 TextTable::percent(
+                     bench::speedup(hdfs, runs.at(exec::Scheme::Dyrs).mean_job_s), 0),
+                 "20.9s (33%)"});
+  table.print(std::cout);
+  bench::maybe_dump_csv("table1_swim_summary", table);
+  std::cout << "\n";
+
+  const double dyrs_sp = bench::speedup(hdfs, runs.at(exec::Scheme::Dyrs).mean_job_s);
+  const double ram_sp = bench::speedup(hdfs, runs.at(exec::Scheme::InputsInRam).mean_job_s);
+  const double ignem_sp = bench::speedup(hdfs, runs.at(exec::Scheme::Ignem).mean_job_s);
+  bench::print_shape_check(dyrs_sp > 0.15, "DYRS delivers a double-digit speedup");
+  bench::print_shape_check(ram_sp > dyrs_sp, "InRAM upper-bounds DYRS");
+  bench::print_shape_check(ignem_sp < 0.0, "Ignem is a net slowdown on a heterogeneous cluster");
+  // The paper reports DYRS realizing 72% of the InRAM speedup. Our SWIM
+  // generator draws giant jobs anywhere in the arrival order, and a 24GB
+  // job at the head of the FIFO pending list blocks small jobs' migrations
+  // (see bench/micro_ordering for the SJF policy that removes this), so
+  // the realized fraction is somewhat workload-order dependent.
+  bench::print_shape_check(dyrs_sp > 0.5 * ram_sp,
+                           "DYRS realizes most of the potential speedup");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// dyrsctl — command-line experiment driver for the DYRS testbed.
+//
+// Run any scheme/workload/interference combination without writing code:
+//
+//   dyrsctl --scheme dyrs --workload sort --input-gib 10 --slow-node
+//   dyrsctl --scheme ignem --workload swim --jobs 100
+//   dyrsctl --scheme dyrs --workload hive --scale 0.5
+//   dyrsctl --compare --workload sort --input-gib 8    (all schemes)
+//
+// Prints job metrics and, for master-based schemes, migration statistics.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "workloads/sort.h"
+#include "workloads/swim.h"
+#include "workloads/tpcds.h"
+
+using namespace dyrs;
+
+namespace {
+
+struct Args {
+  std::string scheme = "dyrs";
+  std::string workload = "sort";
+  double input_gib = 10;
+  int jobs = 60;
+  double scale = 0.5;
+  bool slow_node = false;
+  bool compare = false;
+  double lead_s = 5;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: dyrsctl [options]\n"
+      "  --scheme hdfs|inram|ignem|dyrs|naive   migration scheme (default dyrs)\n"
+      "  --workload sort|swim|hive              workload (default sort)\n"
+      "  --input-gib N                          sort input size (default 10)\n"
+      "  --jobs N                               swim job count (default 60)\n"
+      "  --scale X                              hive table scale (default 0.5)\n"
+      "  --lead S                               platform overhead seconds (default 5)\n"
+      "  --slow-node                            cripple node 0 with dd interference\n"
+      "  --seed N                               placement/workload seed\n"
+      "  --compare                              run all schemes and compare\n";
+  std::exit(2);
+}
+
+std::optional<exec::Scheme> parse_scheme(const std::string& s) {
+  if (s == "hdfs") return exec::Scheme::Hdfs;
+  if (s == "inram") return exec::Scheme::InputsInRam;
+  if (s == "ignem") return exec::Scheme::Ignem;
+  if (s == "dyrs") return exec::Scheme::Dyrs;
+  if (s == "naive") return exec::Scheme::NaiveBalancer;
+  return std::nullopt;
+}
+
+struct RunResult {
+  double mean_job_s = 0;
+  double mean_map_s = 0;
+  double memory_fraction = 0;
+  long migrations = 0;
+  long cancelled = 0;
+};
+
+RunResult run_workload(exec::Scheme scheme, const Args& args) {
+  exec::TestbedConfig config;
+  config.scheme = scheme;
+  config.placement_seed = args.seed;
+  exec::Testbed tb(config);
+  if (args.slow_node) tb.add_persistent_interference(NodeId(0), 2);
+
+  if (args.workload == "sort") {
+    tb.load_file("/in", gib(args.input_gib));
+    wl::SortConfig sort;
+    sort.input = gib(args.input_gib);
+    sort.platform_overhead = seconds(args.lead_s);
+    tb.submit(wl::sort_job("/in", sort));
+  } else if (args.workload == "swim") {
+    wl::SwimConfig swim;
+    swim.num_jobs = args.jobs;
+    swim.total_input = gib(std::max(8.0, args.jobs * 0.85));
+    swim.max_input = gib(8);
+    swim.seed = args.seed + 4;
+    exec::JobSpec base;
+    base.platform_overhead = seconds(args.lead_s);
+    wl::SwimWorkload::generate(swim).install(tb, base);
+  } else if (args.workload == "hive") {
+    exec::JobSpec base;
+    base.platform_overhead = seconds(args.lead_s);
+    wl::QueryRunner::run_suite(tb, wl::tpcds_queries(args.scale), base);
+  } else {
+    usage();
+  }
+  tb.run();
+
+  RunResult out;
+  out.mean_job_s = tb.metrics().mean_job_duration_s();
+  out.mean_map_s = tb.metrics().mean_map_task_duration_s();
+  out.memory_fraction = tb.metrics().memory_read_fraction();
+  if (tb.master() != nullptr) {
+    out.migrations = tb.master()->migrations_completed();
+    out.cancelled = static_cast<long>(tb.master()->cancels().size());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--scheme")) args.scheme = need_value("--scheme");
+    else if (!std::strcmp(argv[i], "--workload")) args.workload = need_value("--workload");
+    else if (!std::strcmp(argv[i], "--input-gib")) args.input_gib = std::stod(need_value("--input-gib"));
+    else if (!std::strcmp(argv[i], "--jobs")) args.jobs = std::stoi(need_value("--jobs"));
+    else if (!std::strcmp(argv[i], "--scale")) args.scale = std::stod(need_value("--scale"));
+    else if (!std::strcmp(argv[i], "--lead")) args.lead_s = std::stod(need_value("--lead"));
+    else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(need_value("--seed"));
+    else if (!std::strcmp(argv[i], "--slow-node")) args.slow_node = true;
+    else if (!std::strcmp(argv[i], "--compare")) args.compare = true;
+    else usage();
+  }
+
+  std::vector<exec::Scheme> schemes;
+  if (args.compare) {
+    schemes = {exec::Scheme::Hdfs, exec::Scheme::InputsInRam, exec::Scheme::Ignem,
+               exec::Scheme::Dyrs};
+  } else {
+    auto scheme = parse_scheme(args.scheme);
+    if (!scheme) usage();
+    schemes = {*scheme};
+  }
+
+  TextTable table({"scheme", "mean job (s)", "mean map (s)", "mem reads", "migrations",
+                   "cancelled"});
+  for (auto scheme : schemes) {
+    std::cerr << "running " << args.workload << " under " << to_string(scheme) << "...\n";
+    auto r = run_workload(scheme, args);
+    table.add_row({to_string(scheme), TextTable::num(r.mean_job_s, 1),
+                   TextTable::num(r.mean_map_s, 2), TextTable::percent(r.memory_fraction, 0),
+                   std::to_string(r.migrations), std::to_string(r.cancelled)});
+  }
+  table.print(std::cout);
+  return 0;
+}

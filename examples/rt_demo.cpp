@@ -1,0 +1,64 @@
+// Real-threaded runtime demo: the DYRS master/slave protocol with actual
+// worker threads and wall-clock throttled disks. Node 0 is fast, node 1 is
+// slow, node 2 slows down halfway through — watch the estimates and the
+// resulting load split adapt.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/table.h"
+#include "rt/master.h"
+
+using namespace dyrs;
+using namespace std::chrono_literals;
+
+int main() {
+  rt::RtMaster::Options options;
+  for (int n = 0; n < 3; ++n) {
+    rt::RtSlave::Options slave;
+    slave.node = NodeId(n);
+    slave.disk_bandwidth = n == 1 ? mib_per_sec(40) : mib_per_sec(200);
+    slave.queue_capacity = 2;
+    slave.reference_block = mib(2);
+    options.slaves.push_back(slave);
+  }
+  options.retarget_interval = 5ms;
+  rt::RtMaster master(options);
+
+  std::vector<rt::RtBlock> blocks;
+  for (int i = 0; i < 60; ++i) {
+    rt::RtBlock b;
+    b.block = BlockId(i);
+    b.size = mib(2);
+    b.replicas = {NodeId(0), NodeId(1), NodeId(2)};
+    blocks.push_back(std::move(b));
+  }
+  std::cout << "== rt demo: migrating 60 x 2MiB blocks across 3 threaded slaves ==\n";
+  master.migrate(blocks);
+
+  std::jthread degrade([&] {
+    std::this_thread::sleep_for(300ms);
+    std::cout << "[wall 0.3s] node 2's disk degrades to 40MiB/s\n";
+    master.slave(NodeId(2)).disk().set_bandwidth(mib_per_sec(40));
+  });
+
+  if (!master.wait_idle(60s)) {
+    std::cerr << "did not drain in time\n";
+    return 1;
+  }
+
+  auto per_node = master.completed_per_node();
+  TextTable table({"node", "disk MiB/s (final)", "migrations", "est sec/256MiB"});
+  for (int n = 0; n < 3; ++n) {
+    auto& slave = master.slave(NodeId(n));
+    table.add_row({std::to_string(n),
+                   TextTable::num(slave.disk().bandwidth() / static_cast<double>(kMiB), 0),
+                   std::to_string(per_node[NodeId(n)]),
+                   TextTable::num(slave.sec_per_byte() * static_cast<double>(mib(256)), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nall " << master.completed()
+            << " blocks migrated; the fast node did the bulk, and node 2's share "
+               "dropped after its slowdown.\n";
+  return 0;
+}

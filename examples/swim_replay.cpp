@@ -1,0 +1,52 @@
+// SWIM trace replay: a scaled-down version of the paper's multi-job
+// Facebook workload (§V-E), comparing all four file-system configurations.
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "workloads/swim.h"
+
+using namespace dyrs;
+
+int main() {
+  wl::SwimConfig swim;
+  swim.num_jobs = 60;
+  swim.total_input = gib(50);
+  swim.max_input = gib(8);
+  auto workload = wl::SwimWorkload::generate(swim);
+
+  std::cout << "== SWIM replay: " << swim.num_jobs << " jobs, "
+            << TextTable::num(to_gib(workload.total_input()), 0) << "GB total input ==\n";
+
+  const exec::Scheme schemes[] = {exec::Scheme::Hdfs, exec::Scheme::InputsInRam,
+                                  exec::Scheme::Ignem, exec::Scheme::Dyrs};
+  std::map<exec::Scheme, double> mean_s;
+  std::map<exec::Scheme, double> map_s;
+  for (auto scheme : schemes) {
+    std::cout << "replaying under " << to_string(scheme) << "...\n";
+    exec::TestbedConfig config;
+    config.scheme = scheme;
+    exec::Testbed testbed(config);
+    testbed.add_persistent_interference(NodeId(0), 2);  // the slow node
+    exec::JobSpec base;
+    base.platform_overhead = seconds(5);
+    workload.install(testbed, base);
+    testbed.run();
+    mean_s[scheme] = testbed.metrics().mean_job_duration_s();
+    map_s[scheme] = testbed.metrics().mean_map_task_duration_s();
+  }
+
+  const double base = mean_s[exec::Scheme::Hdfs];
+  TextTable table({"scheme", "mean job (s)", "speedup", "mean map task (s)"});
+  for (auto scheme : schemes) {
+    table.add_row({to_string(scheme), TextTable::num(mean_s[scheme], 1),
+                   scheme == exec::Scheme::Hdfs
+                       ? std::string("-")
+                       : TextTable::percent(1.0 - mean_s[scheme] / base, 0),
+                   TextTable::num(map_s[scheme], 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote the Ignem row: random eager binding on a heterogeneous cluster\n"
+               "overloads the slow node and can be worse than no migration at all.\n";
+  return 0;
+}

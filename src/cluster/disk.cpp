@@ -1,0 +1,16 @@
+#include "cluster/disk.h"
+
+namespace dyrs::cluster {
+
+Disk::FlowId Disk::start_io(IoClass io_class, Bytes bytes, CompletionFn on_complete) {
+  bytes_by_class_[static_cast<int>(io_class)] += static_cast<double>(bytes);
+  ios_by_class_[static_cast<int>(io_class)] += 1;
+  return resource_.start_flow(bytes, std::move(on_complete));
+}
+
+Disk::FlowId Disk::start_interference() {
+  ios_by_class_[static_cast<int>(IoClass::Interference)] += 1;
+  return resource_.start_interference();
+}
+
+}  // namespace dyrs::cluster

@@ -1,0 +1,82 @@
+// Interference generators — the paper's method for creating bandwidth
+// heterogeneity (§V-C): dd readers with O_DIRECT that steal disk bandwidth,
+// either persistently or in alternating on/off patterns (the "custom C++
+// application" used for the dynamic-heterogeneity experiments, Fig 9).
+#pragma once
+
+#include <vector>
+
+#include "cluster/disk.h"
+#include "sim/simulator.h"
+
+namespace dyrs::cluster {
+
+/// A controllable group of `width` endless readers on one disk.
+/// activate()/deactivate() are idempotent.
+class DiskInterference {
+ public:
+  DiskInterference(Disk& disk, int width = 2) : disk_(disk), width_(width) {
+    DYRS_CHECK(width > 0);
+  }
+  ~DiskInterference() { deactivate(); }
+  DiskInterference(const DiskInterference&) = delete;
+  DiskInterference& operator=(const DiskInterference&) = delete;
+
+  void activate() {
+    if (!flows_.empty()) return;
+    for (int i = 0; i < width_; ++i) flows_.push_back(disk_.start_interference());
+  }
+
+  void deactivate() {
+    for (auto id : flows_) disk_.cancel(id);
+    flows_.clear();
+  }
+
+  bool active() const { return !flows_.empty(); }
+
+ private:
+  Disk& disk_;
+  int width_;
+  std::vector<Disk::FlowId> flows_;
+};
+
+/// Toggles a DiskInterference on/off every `period`, starting in
+/// `initially_active` state at construction time. Two instances created
+/// with opposite initial states reproduce the paper's anti-phase two-node
+/// patterns (Fig 9d/9e).
+class AlternatingInterference {
+ public:
+  AlternatingInterference(sim::Simulator& sim, Disk& disk, SimDuration period,
+                          bool initially_active, int width = 2)
+      : interference_(disk, width) {
+    DYRS_CHECK(period > 0);
+    if (initially_active) interference_.activate();
+    timer_ = sim.every(period, [this]() { toggle(); });
+  }
+
+  ~AlternatingInterference() { timer_.cancel(); }
+  AlternatingInterference(const AlternatingInterference&) = delete;
+  AlternatingInterference& operator=(const AlternatingInterference&) = delete;
+
+  bool active() const { return interference_.active(); }
+
+  /// Stops toggling and removes any active interference.
+  void stop() {
+    timer_.cancel();
+    interference_.deactivate();
+  }
+
+ private:
+  void toggle() {
+    if (interference_.active()) {
+      interference_.deactivate();
+    } else {
+      interference_.activate();
+    }
+  }
+
+  DiskInterference interference_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace dyrs::cluster

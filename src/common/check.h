@@ -1,0 +1,46 @@
+// Lightweight runtime checks.
+//
+// DYRS_CHECK is always on (benchmarks included): invariant violations in a
+// simulator silently corrupt results, which is worse than the few branch
+// instructions the checks cost. Failures throw dyrs::CheckError so tests can
+// assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dyrs {
+
+/// Thrown when a DYRS_CHECK fails. Deriving from logic_error: a failed check
+/// is a programming error, not an environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "DYRS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dyrs
+
+#define DYRS_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) ::dyrs::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DYRS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream dyrs_check_os_;                               \
+      dyrs_check_os_ << msg;                                           \
+      ::dyrs::detail::check_failed(#expr, __FILE__, __LINE__, dyrs_check_os_.str()); \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,62 @@
+// Exponentially weighted moving average.
+//
+// This is the estimator primitive behind DYRS's per-node migration-time
+// estimates (paper §IV-A): it damps random bandwidth fluctuations while
+// weighting recent migrations more heavily.
+#pragma once
+
+#include "common/check.h"
+
+namespace dyrs {
+
+class Ewma {
+ public:
+  /// `alpha` is the weight of a new sample: v' = alpha*sample + (1-alpha)*v.
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    DYRS_CHECK(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void add(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+    ++count_;
+  }
+
+  bool empty() const { return !seeded_; }
+
+  /// Current estimate; `fallback` is returned before any sample arrives.
+  double value_or(double fallback) const { return seeded_ ? value_ : fallback; }
+
+  double value() const {
+    DYRS_CHECK(seeded_);
+    return value_;
+  }
+
+  /// Overrides the current value without counting a sample. Used by the
+  /// overdue-migration correction, which substitutes a provisional estimate.
+  void force(double value) {
+    value_ = value;
+    seeded_ = true;
+  }
+
+  long sample_count() const { return count_; }
+  double alpha() const { return alpha_; }
+
+  void reset() {
+    seeded_ = false;
+    value_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+  long count_ = 0;
+};
+
+}  // namespace dyrs

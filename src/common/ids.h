@@ -1,0 +1,63 @@
+// Strongly-typed integer identifiers.
+//
+// The simulator passes many small integer ids around (blocks, nodes, jobs,
+// tasks, files). A shared `StrongId` template prevents accidentally handing
+// a JobId to a function expecting a NodeId — a bug class that is hard to
+// notice in a simulator because everything still "runs".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace dyrs {
+
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::int64_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : v_(v) {}
+
+  constexpr value_type value() const { return v_; }
+  constexpr bool valid() const { return v_ >= 0; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.v_ >= b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) { return os << id.v_; }
+
+  /// Sentinel for "no id".
+  static constexpr StrongId invalid() { return StrongId(-1); }
+
+ private:
+  value_type v_ = -1;
+};
+
+struct BlockIdTag {};
+struct NodeIdTag {};
+struct JobIdTag {};
+struct TaskIdTag {};
+struct FileIdTag {};
+
+using BlockId = StrongId<BlockIdTag>;
+using NodeId = StrongId<NodeIdTag>;
+using JobId = StrongId<JobIdTag>;
+using TaskId = StrongId<TaskIdTag>;
+using FileId = StrongId<FileIdTag>;
+
+}  // namespace dyrs
+
+namespace std {
+template <typename Tag>
+struct hash<dyrs::StrongId<Tag>> {
+  size_t operator()(dyrs::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

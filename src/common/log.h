@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded; the real-time runtime (src/rt) logs from
+// multiple threads, so emission takes a lock. Logging defaults to Warn so
+// tests and benchmarks stay quiet; examples turn on Info.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dyrs {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes one formatted line to stderr. Thread-safe.
+  void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dyrs
+
+// Usage: DYRS_LOG(Info, "master") << "bound block " << id << " to node " << n;
+#define DYRS_LOG(level, component)                                   \
+  if (!::dyrs::Logger::instance().enabled(::dyrs::LogLevel::level)) \
+    ;                                                                \
+  else                                                               \
+    ::dyrs::detail::LogLine(::dyrs::LogLevel::level, component)

@@ -1,0 +1,102 @@
+#include "common/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dyrs {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void SampleSet::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::min() {
+  DYRS_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() {
+  DYRS_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::quantile(double q) {
+  DYRS_CHECK(!samples_.empty());
+  DYRS_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::cdf_at(double x) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points(std::size_t n_points) {
+  DYRS_CHECK(n_points >= 2);
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  ensure_sorted();
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n_points - 1);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+std::vector<std::size_t> SampleSet::histogram(double lo, double hi, std::size_t bins) {
+  DYRS_CHECK(bins > 0 && hi > lo);
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double s : samples_) {
+    if (s < lo || s >= hi) continue;
+    auto bin = static_cast<std::size_t>((s - lo) / width);
+    if (bin >= bins) bin = bins - 1;  // guard against FP edge at hi
+    ++counts[bin];
+  }
+  return counts;
+}
+
+}  // namespace dyrs

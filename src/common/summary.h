@@ -1,0 +1,67 @@
+// Streaming summary statistics (Welford) and quantiles over stored samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dyrs {
+
+/// Constant-memory running mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples for exact quantiles and CDF/PDF extraction. Used by the
+/// figure benches, where sample counts are small (≤ ~1e6).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double min();
+  double max();
+
+  /// Exact quantile by linear interpolation, q in [0,1].
+  double quantile(double q);
+
+  /// Fraction of samples <= x (empirical CDF evaluated at x).
+  double cdf_at(double x);
+
+  /// Evenly spaced CDF points: {value, cumulative fraction}.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t n_points);
+
+  /// Histogram over [lo, hi) with `bins` equal bins; returns per-bin counts.
+  std::vector<std::size_t> histogram(double lo, double hi, std::size_t bins);
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace dyrs

@@ -1,0 +1,40 @@
+// Aligned text tables and CSV emission for bench output.
+//
+// Every figure/table bench prints (a) a human-readable aligned table that
+// mirrors the paper's table or figure series, and (b) optional CSV for
+// re-plotting. Keeping the formatting in one place keeps bench binaries to
+// workload logic only.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dyrs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 1);
+  static std::string percent(double fraction, int precision = 0);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar scaled so that `full_scale` maps to
+/// `width` characters. Used to sketch figures in terminal output.
+std::string ascii_bar(double value, double full_scale, int width = 40);
+
+}  // namespace dyrs

@@ -1,0 +1,55 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dyrs {
+
+double TimeSeries::step_value_at(SimTime t, double before) const {
+  // Points are recorded in nondecreasing time order by construction; find
+  // the last point with time <= t.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](SimTime v, const TimePoint& p) { return v < p.time; });
+  if (it == points_.begin()) return before;
+  return std::prev(it)->value;
+}
+
+std::vector<TimePoint> TimeSeries::bucket_average(SimTime start, SimTime end,
+                                                  SimDuration bucket) const {
+  DYRS_CHECK(bucket > 0 && end > start);
+  std::vector<TimePoint> out;
+  for (SimTime t = start; t < end; t += bucket) {
+    const SimTime hi = std::min<SimTime>(t + bucket, end);
+    out.push_back({t, step_mean(t, hi)});
+  }
+  return out;
+}
+
+double TimeSeries::step_max(SimTime start, SimTime end, double before) const {
+  DYRS_CHECK(end > start);
+  double best = step_value_at(start, before);
+  for (const auto& p : points_) {
+    if (p.time >= start && p.time < end) best = std::max(best, p.value);
+  }
+  return best;
+}
+
+double TimeSeries::step_mean(SimTime start, SimTime end, double before) const {
+  DYRS_CHECK(end > start);
+  // Walk the step function across [start, end) accumulating value*dt.
+  double acc = 0.0;
+  double current = step_value_at(start, before);
+  SimTime cursor = start;
+  auto it = std::upper_bound(points_.begin(), points_.end(), start,
+                             [](SimTime v, const TimePoint& p) { return v < p.time; });
+  for (; it != points_.end() && it->time < end; ++it) {
+    acc += current * static_cast<double>(it->time - cursor);
+    cursor = it->time;
+    current = it->value;
+  }
+  acc += current * static_cast<double>(end - cursor);
+  return acc / static_cast<double>(end - start);
+}
+
+}  // namespace dyrs

@@ -1,0 +1,53 @@
+// (time, value) series recorder.
+//
+// Used for estimator timelines (Fig 9), per-node memory usage (Fig 7), and
+// disk-utilization traces (Fig 1). Supports bucketed averaging to mimic the
+// paper's 5-minute-granularity analysis of the Google trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dyrs {
+
+struct TimePoint {
+  SimTime time;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(SimTime t, double value) { points_.push_back({t, value}); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<TimePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Value at time t assuming the series is a step function (last recorded
+  /// value carries forward). Returns `before` for t earlier than the first
+  /// point.
+  double step_value_at(SimTime t, double before = 0.0) const;
+
+  /// Averages the step function over [start, start+bucket), for each bucket
+  /// until `end`. This matches the paper's derivation of 5-minute utilization
+  /// from instantaneous values.
+  std::vector<TimePoint> bucket_average(SimTime start, SimTime end, SimDuration bucket) const;
+
+  /// Peak of the step function over [start, end).
+  double step_max(SimTime start, SimTime end, double before = 0.0) const;
+
+  /// Time-weighted mean of the step function over [start, end).
+  double step_mean(SimTime start, SimTime end, double before = 0.0) const;
+
+ private:
+  std::string name_;
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace dyrs

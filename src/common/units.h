@@ -1,0 +1,67 @@
+// Time and byte units used across the DYRS codebase.
+//
+// Simulated time is kept as integer microseconds (SimTime) so that event
+// ordering is exact and runs are bit-reproducible. Byte quantities are
+// int64 (Bytes); transfer rates are double bytes/second (Rate).
+#pragma once
+
+#include <cstdint>
+
+namespace dyrs {
+
+/// Simulated time in microseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, also in microseconds.
+using SimDuration = std::int64_t;
+
+/// Byte counts (block sizes, file sizes, buffered bytes).
+using Bytes = std::int64_t;
+
+/// Transfer rate in bytes per second.
+using Rate = double;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * 1000;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+/// Converts whole (or fractional) seconds to SimTime microseconds.
+constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr SimDuration milliseconds(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr SimDuration minutes(double m) {
+  return static_cast<SimDuration>(m * static_cast<double>(kMinute));
+}
+
+constexpr SimDuration hours(double h) {
+  return static_cast<SimDuration>(h * static_cast<double>(kHour));
+}
+
+/// Converts a SimTime / SimDuration to floating-point seconds.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes mib(double m) { return static_cast<Bytes>(m * static_cast<double>(kMiB)); }
+constexpr Bytes gib(double g) { return static_cast<Bytes>(g * static_cast<double>(kGiB)); }
+
+constexpr double to_mib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+constexpr double to_gib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+
+/// Rate helpers: e.g. `mib_per_sec(160)` for a commodity HDD.
+constexpr Rate mib_per_sec(double m) { return m * static_cast<double>(kMiB); }
+constexpr Rate gib_per_sec(double g) { return g * static_cast<double>(kGiB); }
+constexpr Rate gbit_per_sec(double g) { return g * 1e9 / 8.0; }
+
+}  // namespace dyrs

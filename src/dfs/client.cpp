@@ -1,0 +1,93 @@
+#include "dfs/client.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+
+namespace dyrs::dfs {
+
+namespace {
+/// Picks one element uniformly; deterministic given the client's rng.
+NodeId pick(const std::vector<NodeId>& nodes, Rng& rng) {
+  DYRS_CHECK(!nodes.empty());
+  return nodes[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+}
+
+bool contains(const std::vector<NodeId>& nodes, NodeId n) {
+  return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+}
+}  // namespace
+
+void DFSClient::read_block(BlockId block, NodeId reader, JobId job, ReadDoneFn done) {
+  const BlockMeta& meta = namenode_.ns().block(block);
+  const SimTime start = cluster_.simulator().now();
+
+  // Signal the migration framework before resolving locations: a missed
+  // migration cancelled here will not serve this read anyway, and keeping
+  // it would only waste disk bandwidth.
+  if (hooks_) hooks_->on_read_started(block, job);
+
+  ReadInfo info;
+  info.block = block;
+  info.start = start;
+
+  const auto memory_nodes = namenode_.memory_locations(block);
+  if (!memory_nodes.empty()) {
+    if (contains(memory_nodes, reader)) {
+      info.source = reader;
+      info.medium = ReadMedium::LocalMemory;
+      cluster_.node(reader).memory().read(meta.size, [this, info, job, done]() mutable {
+        info.end = cluster_.simulator().now();
+        finish(info, job, done);
+      });
+    } else {
+      const NodeId src = pick(memory_nodes, rng_);
+      info.source = src;
+      info.medium = ReadMedium::RemoteMemory;
+      cluster_.node(src).nic().start_flow(meta.size, [this, info, job, done](SimTime t) mutable {
+        info.end = t;
+        finish(info, job, done);
+      });
+    }
+    return;
+  }
+
+  const auto disk_nodes = namenode_.block_locations(block);
+  DYRS_CHECK_MSG(!disk_nodes.empty(), "no available replica of block " << block);
+  const bool local = contains(disk_nodes, reader);
+  const NodeId src = local ? reader : pick(disk_nodes, rng_);
+  info.source = src;
+  info.medium = local ? ReadMedium::LocalDisk : ReadMedium::RemoteDisk;
+  namenode_.datanode(src)->read_from_disk(
+      block, meta.size, cluster::IoClass::TaskRead,
+      [this, info, job, done](SimTime t) mutable {
+        info.end = t;
+        finish(info, job, done);
+      });
+}
+
+void DFSClient::finish(const ReadInfo& info, JobId job, const ReadDoneFn& done) {
+  auto& counters = served_[info.source];
+  ++counters[static_cast<std::size_t>(info.medium)];
+  ++total_reads_;
+  if (hooks_) hooks_->on_read_completed(info.block, job, info);
+  if (done) done(info);
+}
+
+long DFSClient::reads_served(NodeId node) const {
+  auto it = served_.find(node);
+  if (it == served_.end()) return 0;
+  long sum = 0;
+  for (long c : it->second) sum += c;
+  return sum;
+}
+
+long DFSClient::reads_served(NodeId node, ReadMedium medium) const {
+  auto it = served_.find(node);
+  if (it == served_.end()) return 0;
+  return it->second[static_cast<std::size_t>(medium)];
+}
+
+}  // namespace dyrs::dfs

@@ -1,0 +1,58 @@
+// DataNode: the storage daemon on one cluster node.
+//
+// Stores block replicas on the node's disk and serves reads either from
+// disk or from the buffer cache (blocks pinned by the DYRS slave). Tracks
+// process liveness separately from server liveness: a crashed process loses
+// its pinned buffers (the OS reclaims mlocked pages) but the on-disk
+// replicas survive; a dead server loses both until it returns.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "cluster/node.h"
+#include "dfs/types.h"
+
+namespace dyrs::dfs {
+
+class DataNode {
+ public:
+  explicit DataNode(cluster::Node& node) : node_(node) {}
+
+  NodeId id() const { return node_.id(); }
+  cluster::Node& node() { return node_; }
+
+  void add_block(BlockId block) { stored_.insert(block); }
+  void remove_block(BlockId block) { stored_.erase(block); }
+  bool has_block(BlockId block) const { return stored_.count(block) > 0; }
+  std::size_t stored_block_count() const { return stored_.size(); }
+
+  /// True when both the server and the datanode process are up.
+  bool serving() const { return node_.alive() && process_alive_; }
+  bool process_alive() const { return process_alive_; }
+
+  /// Crashes the datanode process. `on_process_crash` (the DYRS slave's
+  /// cleanup) runs immediately: buffers are reclaimed by the OS.
+  void crash_process() {
+    process_alive_ = false;
+    if (on_process_crash) on_process_crash();
+  }
+
+  /// Restarts the process with no buffered state.
+  void restart_process() { process_alive_ = true; }
+
+  /// Hook installed by the migration slave to drop soft state on crash.
+  std::function<void()> on_process_crash;
+
+  /// Reads `bytes` of `block` from the local disk. Asserts the replica
+  /// exists — callers route via NameNode::block_locations first.
+  cluster::Disk::FlowId read_from_disk(BlockId block, Bytes bytes, cluster::IoClass io_class,
+                                       cluster::Disk::CompletionFn done);
+
+ private:
+  cluster::Node& node_;
+  std::unordered_set<BlockId> stored_;
+  bool process_alive_ = true;
+};
+
+}  // namespace dyrs::dfs

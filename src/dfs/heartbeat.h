@@ -1,0 +1,34 @@
+// Heartbeat driver: each serving datanode reports to the namenode every
+// heartbeat interval. A crashed process or dead server simply stops
+// heartbeating and the namenode marks it unavailable after the miss limit —
+// the same failure-detection scheme as HDFS (paper §III-C2).
+#pragma once
+
+#include <vector>
+
+#include "dfs/namenode.h"
+#include "sim/simulator.h"
+
+namespace dyrs::dfs {
+
+class HeartbeatDriver {
+ public:
+  HeartbeatDriver(sim::Simulator& sim, NameNode& namenode, std::vector<DataNode*> datanodes)
+      : datanodes_(std::move(datanodes)) {
+    timer_ = sim.every(namenode.options().heartbeat_interval, [this, &namenode]() {
+      for (DataNode* dn : datanodes_) {
+        if (dn->serving()) namenode.heartbeat(dn->id());
+      }
+    });
+  }
+
+  ~HeartbeatDriver() { timer_.cancel(); }
+  HeartbeatDriver(const HeartbeatDriver&) = delete;
+  HeartbeatDriver& operator=(const HeartbeatDriver&) = delete;
+
+ private:
+  std::vector<DataNode*> datanodes_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace dyrs::dfs

@@ -1,0 +1,114 @@
+// NameNode: metadata master of MiniDFS.
+//
+// Owns the namespace, the block -> replica map, datanode liveness (driven
+// by heartbeats), and the in-memory replica registry that the DYRS master
+// updates so reads can be redirected to buffered copies (paper §III: "once
+// a block has been migrated, reads will be directed to the in-memory
+// replica whether it is local or remote").
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "dfs/datanode.h"
+#include "dfs/namespace.h"
+#include "dfs/placement.h"
+#include "sim/simulator.h"
+
+namespace dyrs::dfs {
+
+class NameNode {
+ public:
+  struct Options {
+    Bytes block_size = kDefaultBlockSize;
+    int replication = kDefaultReplication;
+    SimDuration heartbeat_interval = seconds(3);  // HDFS default
+    int heartbeat_miss_limit = 3;  // consecutive misses before marked dead
+    std::uint64_t placement_seed = 1;
+    /// HDFS-style recovery: periodically scan for under-replicated blocks
+    /// (a holder died) and copy them to healthy nodes.
+    bool auto_rereplicate = false;
+    SimDuration rereplication_interval = seconds(10);
+  };
+
+  NameNode(sim::Simulator& sim, Options opts,
+           std::unique_ptr<PlacementPolicy> placement = nullptr);
+
+  // --- datanode membership & liveness ---------------------------------
+  void register_datanode(DataNode* dn);
+  DataNode* datanode(NodeId id);
+  int datanode_count() const { return static_cast<int>(datanodes_.size()); }
+
+  /// Receives a heartbeat from a datanode (called by heartbeat drivers).
+  void heartbeat(NodeId from);
+
+  /// True while the datanode has not missed heartbeat_miss_limit beats.
+  /// A just-registered node is considered available.
+  bool available(NodeId id) const;
+
+  // --- namespace & placement -------------------------------------------
+  /// Creates a file and places replicas of each block on available
+  /// datanodes. The dataset pre-exists when experiments start, so creation
+  /// is a metadata operation (no simulated write traffic).
+  const FileMeta& create_file(const std::string& name, Bytes size);
+
+  const Namespace& ns() const { return ns_; }
+
+  /// Deletes a file: namespace entry, disk replicas on datanodes, and any
+  /// in-memory replica registrations. Returns the deleted blocks so the
+  /// migration framework can drop its own state for them.
+  std::vector<BlockId> delete_file(const std::string& name);
+
+  /// Disk replica holders of a block, filtered to available datanodes.
+  std::vector<NodeId> block_locations(BlockId block) const;
+
+  /// All placed replicas, including on dead nodes (for recovery tests).
+  const std::vector<NodeId>& raw_replicas(BlockId block) const;
+
+  // --- in-memory replica registry --------------------------------------
+  void register_memory_replica(BlockId block, NodeId node);
+  void unregister_memory_replica(BlockId block, NodeId node);
+  /// Drops every in-memory location on `node` (slave crash cleanup).
+  void drop_memory_replicas_on(NodeId node);
+
+  // --- re-replication ----------------------------------------------------
+  /// Blocks whose available replica count is below the target.
+  std::vector<BlockId> under_replicated_blocks() const;
+  /// One recovery pass: for each under-replicated block, start one copy
+  /// (source disk read, then destination disk write) to a healthy node
+  /// not already holding it. Returns copies started. Runs automatically
+  /// every rereplication_interval when auto_rereplicate is set.
+  int rereplicate_once();
+  long rereplications_completed() const { return rereplications_completed_; }
+
+  /// Available nodes currently holding `block` in memory.
+  std::vector<NodeId> memory_locations(BlockId block) const;
+  bool in_memory(BlockId block) const { return !memory_locations(block).empty(); }
+  std::size_t memory_replica_count() const;
+
+  sim::Simulator& simulator() { return sim_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  sim::Simulator& sim_;
+  Options opts_;
+  Namespace ns_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  Rng placement_rng_;
+
+  std::unordered_map<NodeId, DataNode*> datanodes_;
+  std::unordered_map<NodeId, SimTime> last_heartbeat_;
+  std::vector<std::vector<NodeId>> replicas_;  // indexed by BlockId
+  std::unordered_map<BlockId, std::unordered_set<NodeId>> memory_;
+  std::unordered_set<BlockId> rereplicating_;  // copies in flight
+  long rereplications_completed_ = 0;
+  sim::EventHandle rereplication_timer_;
+
+ public:
+  ~NameNode();
+};
+
+}  // namespace dyrs::dfs

@@ -1,0 +1,33 @@
+#include "dfs/placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dyrs::dfs {
+
+std::vector<NodeId> RandomPlacement::place(const std::vector<NodeId>& candidates,
+                                           int replication, Rng& rng) {
+  DYRS_CHECK(replication > 0);
+  DYRS_CHECK(!candidates.empty());
+  std::vector<NodeId> pool = candidates;
+  std::shuffle(pool.begin(), pool.end(), rng.engine());
+  const auto k = std::min<std::size_t>(pool.size(), static_cast<std::size_t>(replication));
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<NodeId> RoundRobinPlacement::place(const std::vector<NodeId>& candidates,
+                                               int replication, Rng& /*rng*/) {
+  DYRS_CHECK(replication > 0);
+  DYRS_CHECK(!candidates.empty());
+  std::vector<NodeId> out;
+  const auto k = std::min<std::size_t>(candidates.size(), static_cast<std::size_t>(replication));
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(candidates[(next_ + i) % candidates.size()]);
+  }
+  ++next_;
+  return out;
+}
+
+}  // namespace dyrs::dfs

@@ -1,0 +1,43 @@
+// Replica placement policy.
+//
+// HDFS's default policy spreads replicas across nodes (and racks); for a
+// single-rack 7-node testbed the observable property is simply "k distinct
+// nodes, uniformly spread". Deterministic given the Rng.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/random.h"
+
+namespace dyrs::dfs {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  /// Picks `replication` distinct nodes out of `candidates` for a new block.
+  /// If fewer candidates than replicas are available, returns all of them.
+  virtual std::vector<NodeId> place(const std::vector<NodeId>& candidates, int replication,
+                                    Rng& rng) = 0;
+};
+
+/// Uniform random distinct-node placement (HDFS default, single rack).
+class RandomPlacement : public PlacementPolicy {
+ public:
+  std::vector<NodeId> place(const std::vector<NodeId>& candidates, int replication,
+                            Rng& rng) override;
+};
+
+/// Round-robin placement: block i gets replicas on nodes (i, i+1, ... ) mod
+/// N. Useful in tests and straggler experiments where an exactly uniform
+/// block distribution removes placement noise.
+class RoundRobinPlacement : public PlacementPolicy {
+ public:
+  std::vector<NodeId> place(const std::vector<NodeId>& candidates, int replication,
+                            Rng& rng) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+}  // namespace dyrs::dfs

@@ -1,0 +1,22 @@
+// Observer interface connecting the read path to the migration framework.
+//
+// The DYRS master needs two signals from reads (paper §III-C3, §IV-A1):
+//  * a read STARTED for a block — a still-pending/active migration of that
+//    block has been "missed" and can be discarded;
+//  * a read COMPLETED — under implicit eviction the job's reference is
+//    dropped, potentially freeing the buffer.
+#pragma once
+
+#include "common/ids.h"
+#include "dfs/types.h"
+
+namespace dyrs::dfs {
+
+class ReadHooks {
+ public:
+  virtual ~ReadHooks() = default;
+  virtual void on_read_started(BlockId block, JobId job) = 0;
+  virtual void on_read_completed(BlockId block, JobId job, const ReadInfo& info) = 0;
+};
+
+}  // namespace dyrs::dfs

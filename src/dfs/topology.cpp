@@ -1,0 +1,65 @@
+#include "dfs/topology.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dyrs::dfs {
+
+Topology Topology::striped(int num_nodes, int num_racks) {
+  DYRS_CHECK(num_nodes > 0 && num_racks > 0);
+  Topology t;
+  for (int n = 0; n < num_nodes; ++n) t.assign(NodeId(n), n % num_racks);
+  return t;
+}
+
+int Topology::rack_count() const { return static_cast<int>(racks().size()); }
+
+std::vector<int> Topology::racks() const {
+  std::set<int> ids;
+  for (const auto& [node, rack] : rack_of_) ids.insert(rack);
+  if (ids.empty()) ids.insert(0);
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<NodeId> RackAwarePlacement::place(const std::vector<NodeId>& candidates,
+                                              int replication, Rng& rng) {
+  DYRS_CHECK(replication > 0);
+  DYRS_CHECK(!candidates.empty());
+  std::vector<NodeId> pool = candidates;
+  std::shuffle(pool.begin(), pool.end(), rng.engine());
+
+  std::vector<NodeId> chosen;
+  auto take = [&](auto&& predicate) {
+    for (auto it = pool.begin(); it != pool.end(); ++it) {
+      if (predicate(*it)) {
+        chosen.push_back(*it);
+        pool.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Replica 1: any node.
+  take([](NodeId) { return true; });
+  if (static_cast<int>(chosen.size()) < replication && !chosen.empty()) {
+    // Replica 2: prefer a different rack than replica 1.
+    const int first_rack = topology_.rack_of(chosen[0]);
+    if (!take([&](NodeId n) { return topology_.rack_of(n) != first_rack; })) {
+      take([](NodeId) { return true; });
+    }
+  }
+  if (static_cast<int>(chosen.size()) < replication && chosen.size() >= 2) {
+    // Replica 3: prefer replica 2's rack.
+    const int second_rack = topology_.rack_of(chosen[1]);
+    if (!take([&](NodeId n) { return topology_.rack_of(n) == second_rack; })) {
+      take([](NodeId) { return true; });
+    }
+  }
+  while (static_cast<int>(chosen.size()) < replication && !pool.empty()) {
+    take([](NodeId) { return true; });
+  }
+  return chosen;
+}
+
+}  // namespace dyrs::dfs

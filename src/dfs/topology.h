@@ -1,0 +1,66 @@
+// Rack topology and HDFS's default rack-aware placement policy.
+//
+// The paper's testbed is a single rack, but production HDFS places
+// replicas rack-aware: first replica on the writer's node (or a random
+// node for externally loaded data), the second and third on two nodes of
+// one *other* rack. This limits the loss domain to one rack while keeping
+// two replicas rack-local to each other. Provided here so multi-rack
+// experiments and placement ablations run against the real policy.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "dfs/placement.h"
+
+namespace dyrs::dfs {
+
+class Topology {
+ public:
+  /// Single-rack topology (the paper's testbed).
+  Topology() = default;
+
+  /// Assigns `num_nodes` nodes round-robin across `num_racks` racks.
+  static Topology striped(int num_nodes, int num_racks);
+
+  void assign(NodeId node, int rack) { rack_of_[node] = rack; }
+
+  int rack_of(NodeId node) const {
+    auto it = rack_of_.find(node);
+    return it == rack_of_.end() ? 0 : it->second;
+  }
+
+  bool same_rack(NodeId a, NodeId b) const { return rack_of(a) == rack_of(b); }
+
+  int rack_count() const;
+
+  /// All distinct rack ids, ascending.
+  std::vector<int> racks() const;
+
+ private:
+  std::unordered_map<NodeId, int> rack_of_;
+};
+
+/// HDFS default block placement, rack-aware variant:
+///   replica 1: random node;
+///   replica 2: a node on a different rack than replica 1;
+///   replica 3: a different node on replica 2's rack;
+///   further replicas: random remaining nodes.
+/// Falls back gracefully when the cluster has a single rack or not enough
+/// nodes (never places two replicas on one node).
+class RackAwarePlacement : public PlacementPolicy {
+ public:
+  explicit RackAwarePlacement(Topology topology) : topology_(std::move(topology)) {}
+
+  std::vector<NodeId> place(const std::vector<NodeId>& candidates, int replication,
+                            Rng& rng) override;
+
+  const Topology& topology() const { return topology_; }
+
+ private:
+  Topology topology_;
+};
+
+}  // namespace dyrs::dfs

@@ -1,0 +1,54 @@
+// Core metadata types for MiniDFS, the HDFS-like substrate DYRS lives in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace dyrs::dfs {
+
+/// HDFS-style large blocks; the paper's motivation math uses 256MB blocks.
+inline constexpr Bytes kDefaultBlockSize = 256 * kMiB;
+inline constexpr int kDefaultReplication = 3;
+
+struct BlockMeta {
+  BlockId id;
+  FileId file;
+  Bytes size = 0;
+};
+
+struct FileMeta {
+  FileId id;
+  std::string name;
+  Bytes size = 0;
+  std::vector<BlockId> blocks;
+};
+
+/// Where a block read was ultimately served from.
+enum class ReadMedium { LocalMemory, RemoteMemory, LocalDisk, RemoteDisk };
+
+inline const char* to_string(ReadMedium m) {
+  switch (m) {
+    case ReadMedium::LocalMemory: return "local-memory";
+    case ReadMedium::RemoteMemory: return "remote-memory";
+    case ReadMedium::LocalDisk: return "local-disk";
+    case ReadMedium::RemoteDisk: return "remote-disk";
+  }
+  return "?";
+}
+
+inline bool is_memory(ReadMedium m) {
+  return m == ReadMedium::LocalMemory || m == ReadMedium::RemoteMemory;
+}
+
+struct ReadInfo {
+  BlockId block;
+  NodeId source;       // node the bytes came from
+  ReadMedium medium = ReadMedium::LocalDisk;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+}  // namespace dyrs::dfs

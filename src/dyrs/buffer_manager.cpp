@@ -1,0 +1,138 @@
+#include "dyrs/buffer_manager.h"
+
+#include "common/check.h"
+
+namespace dyrs::core {
+
+BufferManager::BufferManager(cluster::Memory& memory, Bytes limit)
+    : memory_(memory), limit_(limit > 0 ? limit : memory.capacity()) {
+  DYRS_CHECK(limit_ > 0);
+}
+
+bool BufferManager::try_add(BlockId block, Bytes size,
+                            const std::map<JobId, EvictionMode>& jobs) {
+  DYRS_CHECK_MSG(!contains(block), "block " << block << " already buffered");
+  DYRS_CHECK(size > 0);
+  DYRS_CHECK_MSG(!jobs.empty(), "a buffered block needs at least one referencing job");
+  if (used_ + size > limit_) return false;
+  if (!memory_.pin(size)) return false;
+  used_ += size;
+  Buffered buf;
+  buf.size = size;
+  buf.refs = jobs;
+  blocks_.emplace(block, std::move(buf));
+  for (const auto& [job, mode] : jobs) job_blocks_[job].insert(block);
+  return true;
+}
+
+void BufferManager::add_refs(BlockId block, const std::map<JobId, EvictionMode>& jobs) {
+  auto it = blocks_.find(block);
+  DYRS_CHECK_MSG(it != blocks_.end(), "block " << block << " not buffered");
+  for (const auto& [job, mode] : jobs) {
+    it->second.refs[job] = mode;
+    job_blocks_[job].insert(block);
+  }
+}
+
+bool BufferManager::over_threshold(double fraction) const {
+  DYRS_CHECK(fraction > 0.0 && fraction <= 1.0);
+  return static_cast<double>(used_) >= fraction * static_cast<double>(limit_);
+}
+
+void BufferManager::evict(BlockId block) {
+  auto it = blocks_.find(block);
+  DYRS_CHECK(it != blocks_.end());
+  DYRS_CHECK_MSG(it->second.refs.empty(), "evicting block with live references");
+  memory_.unpin(it->second.size);
+  used_ -= it->second.size;
+  blocks_.erase(it);
+}
+
+std::vector<BlockId> BufferManager::evict_if_unreferenced(BlockId block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end() || !it->second.refs.empty()) return {};
+  evict(block);
+  return {block};
+}
+
+std::vector<BlockId> BufferManager::release_job(JobId job) {
+  std::vector<BlockId> evicted;
+  auto jit = job_blocks_.find(job);
+  if (jit == job_blocks_.end()) return evicted;
+  const std::set<BlockId> held = std::move(jit->second);
+  job_blocks_.erase(jit);
+  for (BlockId block : held) {
+    auto it = blocks_.find(block);
+    if (it == blocks_.end()) continue;
+    it->second.refs.erase(job);
+    auto gone = evict_if_unreferenced(block);
+    evicted.insert(evicted.end(), gone.begin(), gone.end());
+  }
+  return evicted;
+}
+
+std::vector<BlockId> BufferManager::on_block_read(BlockId block, JobId job) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return {};
+  auto ref = it->second.refs.find(job);
+  if (ref == it->second.refs.end() || ref->second != EvictionMode::Implicit) return {};
+  it->second.refs.erase(ref);
+  auto jit = job_blocks_.find(job);
+  if (jit != job_blocks_.end()) {
+    jit->second.erase(block);
+    if (jit->second.empty()) job_blocks_.erase(jit);
+  }
+  return evict_if_unreferenced(block);
+}
+
+std::vector<BlockId> BufferManager::scavenge(const std::function<bool(JobId)>& is_active) {
+  DYRS_CHECK(is_active != nullptr);
+  std::vector<BlockId> evicted;
+  // Collect dead jobs first; erasing while iterating job_blocks_ would
+  // invalidate iterators through release_job.
+  std::vector<JobId> dead;
+  for (const auto& [job, blocks] : job_blocks_) {
+    if (!is_active(job)) dead.push_back(job);
+  }
+  for (JobId job : dead) {
+    auto gone = release_job(job);
+    evicted.insert(evicted.end(), gone.begin(), gone.end());
+  }
+  return evicted;
+}
+
+void BufferManager::force_evict(BlockId block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  for (const auto& [job, mode] : it->second.refs) {
+    auto jit = job_blocks_.find(job);
+    if (jit != job_blocks_.end()) {
+      jit->second.erase(block);
+      if (jit->second.empty()) job_blocks_.erase(jit);
+    }
+  }
+  it->second.refs.clear();
+  evict(block);
+}
+
+std::vector<BlockId> BufferManager::clear_all() {
+  std::vector<BlockId> had;
+  had.reserve(blocks_.size());
+  for (auto& [block, buf] : blocks_) {
+    had.push_back(block);
+    memory_.unpin(buf.size);
+  }
+  blocks_.clear();
+  job_blocks_.clear();
+  used_ = 0;
+  return had;
+}
+
+std::vector<BlockId> BufferManager::buffered_blocks() const {
+  std::vector<BlockId> out;
+  out.reserve(blocks_.size());
+  for (const auto& [block, buf] : blocks_) out.push_back(block);
+  return out;
+}
+
+}  // namespace dyrs::core

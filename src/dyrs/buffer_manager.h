@@ -1,0 +1,84 @@
+// Slave-side memory management for migrated blocks (paper §III-C3, §IV-A1).
+//
+// Each buffered block carries a reference list of job IDs expected to read
+// it. A job's reference is dropped explicitly (evict command, typically at
+// job end) or implicitly as soon as the job reads the block; when the list
+// empties the block is unpinned. A scavenger pass clears references held by
+// jobs the cluster scheduler no longer reports as active, bounding leaks
+// from failed jobs. A hard limit below node memory can be configured; when
+// it is hit, admission fails and the slave stalls its queue until evictions
+// make room (or the migration is discarded by a missed read).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/memory.h"
+#include "dyrs/types.h"
+
+namespace dyrs::core {
+
+class BufferManager {
+ public:
+  /// `limit` caps bytes of migrated data; 0 means "node memory capacity".
+  BufferManager(cluster::Memory& memory, Bytes limit = 0);
+
+  /// Admits a block: pins `size` bytes and installs the reference list.
+  /// Returns false (no state change) if the hard limit or node memory
+  /// would be exceeded.
+  bool try_add(BlockId block, Bytes size, const std::map<JobId, EvictionMode>& jobs);
+
+  /// Adds references for a block that is already buffered (a later job
+  /// requested a block another job migrated).
+  void add_refs(BlockId block, const std::map<JobId, EvictionMode>& jobs);
+
+  bool contains(BlockId block) const { return blocks_.count(block) > 0; }
+  std::size_t buffered_count() const { return blocks_.size(); }
+  Bytes used() const { return used_; }
+  Bytes limit() const { return limit_; }
+  bool over_threshold(double fraction) const;
+
+  /// Drops `job`'s reference from every block it holds; returns the blocks
+  /// whose lists emptied and were evicted. (The explicit evict command.)
+  std::vector<BlockId> release_job(JobId job);
+
+  /// Implicit-eviction path: `job` finished reading `block`. Drops the
+  /// reference only if that job opted into implicit eviction for it.
+  /// Returns evicted blocks (empty or one element).
+  std::vector<BlockId> on_block_read(BlockId block, JobId job);
+
+  /// Clears references of jobs for which `is_active` returns false, then
+  /// evicts empty blocks. Returns evicted blocks.
+  std::vector<BlockId> scavenge(const std::function<bool(JobId)>& is_active);
+
+  /// Drops a block regardless of its reference list — used when a
+  /// migration is cancelled after its memory was reserved (missed read).
+  /// No-op if the block is not buffered.
+  void force_evict(BlockId block);
+
+  /// Process crash: the OS reclaims all pinned pages. Returns the blocks
+  /// that were buffered (so the master can drop its soft state).
+  std::vector<BlockId> clear_all();
+
+  std::vector<BlockId> buffered_blocks() const;
+
+ private:
+  struct Buffered {
+    Bytes size = 0;
+    std::map<JobId, EvictionMode> refs;
+  };
+
+  std::vector<BlockId> evict_if_unreferenced(BlockId block);
+  void evict(BlockId block);
+
+  cluster::Memory& memory_;
+  Bytes limit_;
+  Bytes used_ = 0;
+  std::unordered_map<BlockId, Buffered> blocks_;
+  std::unordered_map<JobId, std::set<BlockId>> job_blocks_;
+};
+
+}  // namespace dyrs::core

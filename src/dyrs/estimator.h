@@ -1,0 +1,76 @@
+// Per-node migration-time estimator (paper §IV-A).
+//
+// Each slave estimates how long migrating a block takes on its node using
+// an EWMA of past migration durations. Because block sizes vary (the last
+// block of a file is short), the EWMA is kept over *per-byte* durations and
+// scaled by the queried size; for uniform blocks this is exactly the
+// paper's per-block estimate.
+//
+// The overdue correction: after a sudden bandwidth drop, the in-flight
+// migration may run far past its estimate. Waiting for it to finish before
+// reacting is too slow (the paper's earlier prototype did this), so every
+// heartbeat the elapsed time of the active migration is folded in as a
+// sample whenever it already exceeds the current estimate.
+#pragma once
+
+#include "common/check.h"
+#include "common/ewma.h"
+#include "common/units.h"
+
+namespace dyrs::core {
+
+class MigrationEstimator {
+ public:
+  struct Options {
+    double ewma_alpha = 0.3;
+    Bytes reference_block = 256 * kMiB;  // size quoted by seconds_per_block()
+    /// Estimate used before any migration completes: the disk's unloaded
+    /// sequential rate (optimistic, as a fresh disk would be).
+    Rate fallback_rate = mib_per_sec(160);
+    bool overdue_correction = true;
+  };
+
+  explicit MigrationEstimator(Options opts) : opts_(opts), per_byte_(opts.ewma_alpha) {
+    DYRS_CHECK(opts.reference_block > 0);
+    DYRS_CHECK(opts.fallback_rate > 0);
+  }
+
+  /// Records a completed migration of `size` bytes taking `duration_s`.
+  void on_complete(Bytes size, double duration_s) {
+    DYRS_CHECK(size > 0 && duration_s >= 0);
+    per_byte_.add(duration_s / static_cast<double>(size));
+  }
+
+  /// Heartbeat update for an in-flight migration: if the elapsed time
+  /// already exceeds the estimate for that size, fold it in now.
+  /// Returns true if the estimate moved.
+  bool on_overdue(Bytes size, double elapsed_s) {
+    if (!opts_.overdue_correction) return false;
+    DYRS_CHECK(size > 0 && elapsed_s >= 0);
+    if (elapsed_s <= seconds_for(size)) return false;
+    per_byte_.add(elapsed_s / static_cast<double>(size));
+    return true;
+  }
+
+  /// Estimated migration time for `size` bytes on this node.
+  double seconds_for(Bytes size) const {
+    return per_byte_estimate() * static_cast<double>(size);
+  }
+
+  /// Estimated time for one reference block — the quantity plotted in the
+  /// paper's Fig 9.
+  double seconds_per_block() const { return seconds_for(opts_.reference_block); }
+
+  double per_byte_estimate() const {
+    return per_byte_.value_or(1.0 / opts_.fallback_rate);
+  }
+
+  long completed_samples() const { return per_byte_.sample_count(); }
+  void reset() { per_byte_.reset(); }
+
+ private:
+  Options opts_;
+  Ewma per_byte_;
+};
+
+}  // namespace dyrs::core

@@ -1,0 +1,367 @@
+#include "dyrs/master.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace dyrs::core {
+
+MigrationMaster::MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namenode,
+                                 MasterConfig config)
+    : cluster_(cluster), namenode_(namenode), config_(config), rng_(config.seed) {
+  for (NodeId id : cluster_.node_ids()) {
+    dfs::DataNode* dn = namenode_.datanode(id);
+    MigrationSlave::Callbacks callbacks;
+    callbacks.on_complete = [this](const MigrationRecord& r) { handle_migration_complete(r); };
+    callbacks.on_evicted = [this](NodeId node, const std::vector<BlockId>& blocks) {
+      handle_evicted(node, blocks);
+    };
+    auto slave = std::make_unique<MigrationSlave>(cluster_.simulator(), *dn, config_.slave,
+                                                  std::move(callbacks));
+    dn->on_process_crash = [this, id]() { handle_slave_crash(id); };
+    estimate_series_.emplace(id, TimeSeries("estimate-" + std::to_string(id.value())));
+    slaves_.emplace(id, std::move(slave));
+  }
+  heartbeat_timer_ =
+      cluster_.simulator().every(config_.slave.heartbeat_interval, [this]() { pulse(); });
+  if (config_.binding == MasterConfig::Binding::LateTargeted) {
+    retarget_timer_ =
+        cluster_.simulator().every(config_.retarget_interval, [this]() { retarget_now(); });
+  }
+}
+
+MigrationMaster::~MigrationMaster() {
+  heartbeat_timer_.cancel();
+  retarget_timer_.cancel();
+}
+
+std::string MigrationMaster::name() const {
+  switch (config_.binding) {
+    case MasterConfig::Binding::LateTargeted: return "DYRS";
+    case MasterConfig::Binding::LateAnyReplica: return "NaiveBalancer";
+    case MasterConfig::Binding::EagerRandom: return "Ignem";
+  }
+  return "?";
+}
+
+MigrationSlave& MigrationMaster::slave(NodeId id) {
+  auto it = slaves_.find(id);
+  DYRS_CHECK_MSG(it != slaves_.end(), "no slave on node " << id);
+  return *it->second;
+}
+
+const MigrationSlave& MigrationMaster::slave(NodeId id) const {
+  auto it = slaves_.find(id);
+  DYRS_CHECK_MSG(it != slaves_.end(), "no slave on node " << id);
+  return *it->second;
+}
+
+const TimeSeries& MigrationMaster::estimate_series(NodeId id) const {
+  auto it = estimate_series_.find(id);
+  DYRS_CHECK(it != estimate_series_.end());
+  return it->second;
+}
+
+void MigrationMaster::set_job_active_query(std::function<bool(JobId)> q) {
+  for (auto& [id, slave] : slaves_) slave->job_active_query = q;
+}
+
+void MigrationMaster::migrate_files(JobId job, const std::vector<std::string>& files,
+                                    EvictionMode mode) {
+  migrate_blocks(job, namenode_.ns().blocks_of(files), mode);
+}
+
+void MigrationMaster::migrate_blocks(JobId job, const std::vector<BlockId>& blocks,
+                                     EvictionMode mode) {
+  for (BlockId block : blocks) add_pending(job, block, mode);
+  if (config_.binding == MasterConfig::Binding::EagerRandom) {
+    eager_bind_all();
+  } else if (config_.binding == MasterConfig::Binding::LateTargeted) {
+    // Give fresh requests targets right away rather than waiting out the
+    // periodic pass; the pass itself is cheap (§III-D).
+    retarget_now();
+  }
+}
+
+void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode) {
+  // Already in memory somewhere: only add references.
+  const auto memory_nodes = namenode_.memory_locations(block);
+  if (!memory_nodes.empty()) {
+    std::map<JobId, EvictionMode> refs{{job, mode}};
+    for (NodeId n : memory_nodes) slave(n).buffers().add_refs(block, refs);
+    return;
+  }
+  // Already bound to a slave: merge the job into the local migration.
+  auto bit = bound_.find(block);
+  if (bit != bound_.end()) {
+    if (slave(bit->second).add_refs_if_local(block, {{job, mode}})) return;
+    bound_.erase(bit);  // stale (completed+evicted or crashed); fall through
+  }
+  // Already pending: merge.
+  auto pit = pending_index_.find(block);
+  if (pit != pending_index_.end()) {
+    pit->second->jobs[job] = mode;
+    return;
+  }
+  PendingMigration pm;
+  pm.block = block;
+  pm.size = namenode_.ns().block(block).size;
+  pm.jobs[job] = mode;
+  pm.replicas = namenode_.raw_replicas(block);
+  pm.requested_at = cluster_.simulator().now();
+  pending_.push_back(std::move(pm));
+  pending_index_[block] = std::prev(pending_.end());
+}
+
+void MigrationMaster::eager_bind_all() {
+  // Ignem: bind every pending block to a uniformly random replica holder
+  // immediately upon receiving the migration command.
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    std::vector<NodeId> candidates;
+    for (NodeId n : it->replicas) {
+      auto sit = slaves_.find(n);
+      if (sit != slaves_.end() && sit->second->datanode().serving()) candidates.push_back(n);
+    }
+    if (candidates.empty()) {
+      pending_index_.erase(it->block);
+      pending_.erase(it);
+      continue;
+    }
+    const NodeId choice = candidates[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    bind(it, slave(choice));
+  }
+}
+
+void MigrationMaster::retarget_now() {
+  if (pending_.empty()) return;
+  std::vector<SlaveSnapshot> snapshots;
+  snapshots.reserve(slaves_.size());
+  for (auto& [id, slave] : slaves_) {
+    if (!slave->datanode().serving()) continue;
+    snapshots.push_back({.node = id,
+                         .sec_per_byte = slave->estimator().per_byte_estimate(),
+                         .queued_bytes = slave->bound_bytes()});
+  }
+  if (snapshots.empty()) return;
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const SlaveSnapshot& a, const SlaveSnapshot& b) { return a.node < b.node; });
+  // Target in the same order binding will consider entries, so the greedy
+  // finish-time accounting matches the eventual assignment order.
+  std::vector<PendingMigration*> ptrs;
+  ptrs.reserve(pending_.size());
+  for (auto it : pending_in_order()) ptrs.push_back(&*it);
+  assign_targets(ptrs, snapshots);
+}
+
+void MigrationMaster::pulse() {
+  for (auto& [id, slave] : slaves_) {
+    if (!slave->datanode().serving()) continue;
+    slave->heartbeat();
+    estimate_series_.at(id).record(cluster_.simulator().now(),
+                                   slave->estimator().seconds_per_block());
+    if (rebuilding_) {
+      for (BlockId block : slave->buffers().buffered_blocks()) {
+        namenode_.register_memory_replica(block, id);
+      }
+    }
+    pull_for(*slave);
+  }
+  rebuilding_ = false;
+}
+
+std::vector<std::list<PendingMigration>::iterator> MigrationMaster::pending_in_order() {
+  std::vector<std::list<PendingMigration>::iterator> order;
+  order.reserve(pending_.size());
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) order.push_back(it);
+  if (config_.ordering == MasterConfig::Ordering::SmallestJobFirst && order.size() > 1) {
+    // A job's priority is its outstanding pending bytes; an entry wanted
+    // by several jobs inherits the most urgent (smallest) one. Stable sort
+    // keeps FIFO order within a job.
+    std::unordered_map<JobId, Bytes> outstanding;
+    for (const auto& pm : pending_) {
+      for (const auto& [job, mode] : pm.jobs) outstanding[job] += pm.size;
+    }
+    auto key = [&outstanding](const PendingMigration& pm) {
+      Bytes best = std::numeric_limits<Bytes>::max();
+      for (const auto& [job, mode] : pm.jobs) best = std::min(best, outstanding[job]);
+      return best;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](const auto& a, const auto& b) { return key(*a) < key(*b); });
+  }
+  return order;
+}
+
+void MigrationMaster::pull_for(MigrationSlave& slave) {
+  if (config_.binding == MasterConfig::Binding::EagerRandom) return;
+  int free = slave.free_slots();
+  if (free <= 0 || pending_.empty()) return;
+  const bool targeted = config_.binding == MasterConfig::Binding::LateTargeted;
+  for (auto cur : pending_in_order()) {
+    if (free <= 0) break;
+    const bool eligible =
+        targeted ? (cur->target == slave.id())
+                 : std::find(cur->replicas.begin(), cur->replicas.end(), slave.id()) !=
+                       cur->replicas.end();
+    if (!eligible) continue;
+    bind(cur, slave);
+    --free;
+  }
+}
+
+void MigrationMaster::bind(std::list<PendingMigration>::iterator it, MigrationSlave& slave) {
+  BoundMigration bm;
+  bm.block = it->block;
+  bm.size = it->size;
+  bm.jobs = it->jobs;
+  bm.bound_at = cluster_.simulator().now();
+  bound_[it->block] = slave.id();
+  pending_index_.erase(it->block);
+  pending_.erase(it);
+  slave.enqueue(std::move(bm));
+}
+
+void MigrationMaster::handle_migration_complete(const MigrationRecord& record) {
+  bound_.erase(record.block);
+  namenode_.register_memory_replica(record.block, record.node);
+  bytes_migrated_ += static_cast<double>(record.size);
+  records_.push_back(record);
+}
+
+void MigrationMaster::handle_evicted(NodeId node, const std::vector<BlockId>& blocks) {
+  for (BlockId block : blocks) namenode_.unregister_memory_replica(block, node);
+}
+
+void MigrationMaster::handle_slave_crash(NodeId node) {
+  auto it = slaves_.find(node);
+  if (it == slaves_.end()) return;
+  it->second->crash();
+  // The new slave process directs the master to drop state about blocks
+  // previously buffered on that server (§III-C2).
+  namenode_.drop_memory_replicas_on(node);
+  for (auto bit = bound_.begin(); bit != bound_.end();) {
+    if (bit->second == node) {
+      cancels_.push_back({.block = bit->first,
+                          .node = node,
+                          .reason = CancelReason::SlaveCrash,
+                          .at = cluster_.simulator().now()});
+      bit = bound_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+}
+
+void MigrationMaster::evict_job(JobId job) {
+  // Drop the job from pending migrations first.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it->jobs.erase(job);
+    if (it->jobs.empty()) {
+      cancels_.push_back({.block = it->block,
+                          .reason = CancelReason::Superseded,
+                          .at = cluster_.simulator().now()});
+      pending_index_.erase(it->block);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Then clear buffer references (and orphaned bound migrations).
+  for (auto& [id, slave] : slaves_) {
+    slave->release_job(job);
+  }
+  for (auto bit = bound_.begin(); bit != bound_.end();) {
+    if (slave(bit->second).cancel_for_job(bit->first, job)) {
+      cancels_.push_back({.block = bit->first,
+                          .node = bit->second,
+                          .reason = CancelReason::Superseded,
+                          .at = cluster_.simulator().now()});
+      bit = bound_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+}
+
+void MigrationMaster::on_blocks_deleted(const std::vector<BlockId>& blocks) {
+  for (BlockId block : blocks) {
+    auto pit = pending_index_.find(block);
+    if (pit != pending_index_.end()) {
+      pending_.erase(pit->second);
+      pending_index_.erase(pit);
+      cancels_.push_back({.block = block,
+                          .reason = CancelReason::Superseded,
+                          .at = cluster_.simulator().now()});
+      continue;
+    }
+    auto bit = bound_.find(block);
+    if (bit != bound_.end()) {
+      slave(bit->second).cancel_block(block);
+      cancels_.push_back({.block = block,
+                          .node = bit->second,
+                          .reason = CancelReason::Superseded,
+                          .at = cluster_.simulator().now()});
+      bound_.erase(bit);
+      continue;
+    }
+    // Buffered copies: drop from whichever slave holds one. The namenode
+    // already cleared its registry entries.
+    for (auto& [id, slave] : slaves_) {
+      if (slave->buffers().contains(block)) slave->buffers().force_evict(block);
+    }
+  }
+}
+
+void MigrationMaster::on_read_started(BlockId block, JobId job) {
+  if (!config_.cancel_missed_reads) return;
+  // The read will be served from wherever it resolves *now*; a migration
+  // that has not finished can no longer help this job.
+  auto pit = pending_index_.find(block);
+  if (pit != pending_index_.end()) {
+    auto it = pit->second;
+    it->jobs.erase(job);
+    if (it->jobs.empty()) {
+      cancels_.push_back({.block = block,
+                          .reason = CancelReason::MissedRead,
+                          .at = cluster_.simulator().now()});
+      pending_index_.erase(pit);
+      pending_.erase(it);
+    }
+    return;
+  }
+  auto bit = bound_.find(block);
+  if (bit != bound_.end()) {
+    if (slave(bit->second).cancel_for_job(block, job)) {
+      cancels_.push_back({.block = block,
+                          .node = bit->second,
+                          .reason = CancelReason::MissedRead,
+                          .at = cluster_.simulator().now()});
+      bound_.erase(bit);
+    }
+  }
+}
+
+void MigrationMaster::on_read_completed(BlockId block, JobId job, const dfs::ReadInfo& info) {
+  if (!dfs::is_memory(info.medium)) return;
+  auto it = slaves_.find(info.source);
+  if (it == slaves_.end()) return;
+  it->second->on_block_read(block, job);
+}
+
+void MigrationMaster::master_failover() {
+  // All master soft state dies with the process. Slave-side state (local
+  // queues, in-flight migrations, buffers) survives and re-populates the
+  // registry via heartbeat reports.
+  pending_.clear();
+  pending_index_.clear();
+  bound_.clear();
+  // The registry lives logically in the master.
+  for (NodeId id : cluster_.node_ids()) namenode_.drop_memory_replicas_on(id);
+  rebuilding_ = true;
+}
+
+}  // namespace dyrs::core

@@ -1,0 +1,129 @@
+// DYRS master — implemented "within the NameNode" (paper §IV).
+//
+// The master keeps the FIFO list of pending migrations, runs Algorithm 1
+// off the critical path to target each pending block at the replica node
+// expected to finish it soonest, and binds work to slaves only when they
+// pull for it (late binding, §III-A1). It also routes eviction commands,
+// reacts to reads (missed-read cancellation, implicit eviction), and
+// rebuilds its soft state from slave reports after a failover (§III-C1).
+//
+// Baseline behaviours are configuration, not separate code paths:
+//   * Binding::LateTargeted  + cancel + serialize        -> DYRS
+//   * Binding::LateAnyReplica+ cancel + serialize        -> naive balancer (Fig 10 foil)
+//   * Binding::EagerRandom   + no-cancel + concurrent    -> Ignem
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/timeseries.h"
+#include "dfs/namenode.h"
+#include "dyrs/replica_selector.h"
+#include "dyrs/service.h"
+#include "dyrs/slave.h"
+
+namespace dyrs::core {
+
+struct MasterConfig {
+  enum class Binding { LateTargeted, LateAnyReplica, EagerRandom };
+  Binding binding = Binding::LateTargeted;
+  /// Order in which pending migrations are considered for binding. The
+  /// paper ships FIFO and names alternative policies as future work
+  /// (§III); SmallestJobFirst favours jobs with the least outstanding
+  /// migration work (their whole input becomes memory-resident soonest,
+  /// maximizing fully-accelerated jobs).
+  enum class Ordering { Fifo, SmallestJobFirst };
+  Ordering ordering = Ordering::Fifo;
+  /// Discard a block's migration once a read for it starts (§IV-A1:
+  /// "discarded due to missed reads"). Ignem lacks this.
+  bool cancel_missed_reads = true;
+  /// Period of the Algorithm 1 retargeting pass (separate thread in the
+  /// paper; an administrator-tunable rate, §III-D).
+  SimDuration retarget_interval = milliseconds(500);
+  std::uint64_t seed = 99;
+  SlaveConfig slave;
+};
+
+class MigrationMaster final : public MigrationService {
+ public:
+  /// Builds one slave per datanode currently registered at the namenode
+  /// and starts the heartbeat and retargeting loops.
+  MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namenode, MasterConfig config);
+  ~MigrationMaster() override;
+
+  // --- MigrationService --------------------------------------------------
+  void migrate_files(JobId job, const std::vector<std::string>& files,
+                     EvictionMode mode) override;
+  void migrate_blocks(JobId job, const std::vector<BlockId>& blocks,
+                      EvictionMode mode) override;
+  void evict_job(JobId job) override;
+  void on_blocks_deleted(const std::vector<BlockId>& blocks) override;
+  std::string name() const override;
+
+  // --- ReadHooks -----------------------------------------------------------
+  void on_read_started(BlockId block, JobId job) override;
+  void on_read_completed(BlockId block, JobId job, const dfs::ReadInfo& info) override;
+
+  // --- failure ------------------------------------------------------------
+  /// Master process restart: all master soft state is lost. Slave buffers
+  /// survive and are re-reported on subsequent heartbeats, after which the
+  /// in-memory replica registry is consistent again.
+  void master_failover();
+
+  // --- introspection for tests & benches -----------------------------------
+  MigrationSlave& slave(NodeId id);
+  const MigrationSlave& slave(NodeId id) const;
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t bound_count() const { return bound_.size(); }
+  const std::vector<MigrationRecord>& records() const { return records_; }
+  const std::vector<CancelRecord>& cancels() const { return cancels_; }
+  /// Per-node migration-time estimate sampled every heartbeat (Fig 9).
+  const TimeSeries& estimate_series(NodeId id) const;
+  long migrations_completed() const { return static_cast<long>(records_.size()); }
+  double bytes_migrated() const { return bytes_migrated_; }
+
+  /// Forces an immediate Algorithm 1 pass (normally periodic).
+  void retarget_now();
+
+  /// Cluster-scheduler liveness oracle, forwarded to slave scavengers.
+  void set_job_active_query(std::function<bool(JobId)> q);
+
+  const MasterConfig& config() const { return config_; }
+
+ private:
+  void pulse();  // per-heartbeat: slave heartbeats, reports, pulls
+  void pull_for(MigrationSlave& slave);
+  /// Pending entries in binding-consideration order (FIFO, or ascending
+  /// outstanding-bytes of the smallest interested job for SJF).
+  std::vector<std::list<PendingMigration>::iterator> pending_in_order();
+  void bind(std::list<PendingMigration>::iterator it, MigrationSlave& slave);
+  void eager_bind_all();
+  void handle_migration_complete(const MigrationRecord& record);
+  void handle_evicted(NodeId node, const std::vector<BlockId>& blocks);
+  void handle_slave_crash(NodeId node);
+  void add_pending(JobId job, BlockId block, EvictionMode mode);
+
+  cluster::Cluster& cluster_;
+  dfs::NameNode& namenode_;
+  MasterConfig config_;
+  Rng rng_;
+
+  std::unordered_map<NodeId, std::unique_ptr<MigrationSlave>> slaves_;
+  std::list<PendingMigration> pending_;  // FIFO
+  std::unordered_map<BlockId, std::list<PendingMigration>::iterator> pending_index_;
+  std::unordered_map<BlockId, NodeId> bound_;  // bound but not yet completed
+
+  std::vector<MigrationRecord> records_;
+  std::vector<CancelRecord> cancels_;
+  std::unordered_map<NodeId, TimeSeries> estimate_series_;
+  double bytes_migrated_ = 0;
+  bool rebuilding_ = false;
+
+  sim::EventHandle heartbeat_timer_;
+  sim::EventHandle retarget_timer_;
+};
+
+}  // namespace dyrs::core

@@ -1,0 +1,41 @@
+// Algorithm 1 — greedy earliest-finish replica targeting (paper §III-A2).
+//
+// For each pending block, choose as its migration target the replica node
+// on which it is expected to *finish* soonest given everything already
+// queued or previously targeted there. This both balances load by residual
+// bandwidth and avoids handing the last migrations of a job to a slow node
+// (the straggler pathology of naive balancing, Fig 10).
+//
+// This implementation is byte-exact: loads are tracked in bytes and each
+// block contributes its own size, which reduces to the paper's per-block
+// formulation (finishTime[n] = migTime[n] * (numQueued[n]+1)) when all
+// blocks have equal size.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "dyrs/types.h"
+
+namespace dyrs::core {
+
+/// One slave's state as reported on its last heartbeat.
+struct SlaveSnapshot {
+  NodeId node;
+  double sec_per_byte = 0.0;  // current migration-time estimate
+  Bytes queued_bytes = 0;     // bytes bound locally (queued + in flight)
+};
+
+struct TargetingStats {
+  std::size_t assigned = 0;    // blocks that received a target
+  std::size_t untargetable = 0;  // no replica on any reporting slave
+};
+
+/// Runs Algorithm 1 over `pending` (FIFO order), setting each entry's
+/// `target`. Entries whose replicas include no node in `slaves` get an
+/// invalid target and are skipped at assignment time.
+TargetingStats assign_targets(std::vector<PendingMigration*>& pending,
+                              const std::vector<SlaveSnapshot>& slaves);
+
+}  // namespace dyrs::core

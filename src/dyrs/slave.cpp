@@ -1,0 +1,228 @@
+#include "dyrs/slave.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace dyrs::core {
+
+MigrationSlave::MigrationSlave(sim::Simulator& sim, dfs::DataNode& datanode,
+                               SlaveConfig config, Callbacks callbacks)
+    : sim_(sim),
+      datanode_(datanode),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      estimator_({.ewma_alpha = config.ewma_alpha,
+                  .reference_block = config.reference_block,
+                  .fallback_rate = datanode.node().disk().bandwidth(),
+                  .overdue_correction = config.overdue_correction}),
+      buffers_(datanode.node().memory(), config.memory_limit) {
+  DYRS_CHECK(config_.heartbeat_interval > 0);
+}
+
+int MigrationSlave::queue_capacity() const {
+  // Depth that keeps the disk busy across one pull interval: how many
+  // block reads fit in a heartbeat at full disk speed (§III-B). At least 1.
+  const SimDuration block_time =
+      datanode_.node().disk().unloaded_read_time(config_.reference_block);
+  const int depth = block_time > 0
+                        ? static_cast<int>(std::ceil(static_cast<double>(config_.heartbeat_interval) /
+                                                     static_cast<double>(block_time)))
+                        : 1;
+  return std::max(1, depth) + config_.extra_queue_depth;
+}
+
+int MigrationSlave::free_slots() const {
+  return std::max(0, queue_capacity() - queued_count());
+}
+
+Bytes MigrationSlave::bound_bytes() const {
+  Bytes total = 0;
+  for (const auto& m : queue_) total += m.size;
+  for (const auto& [block, a] : active_) total += a.m.size;
+  return total;
+}
+
+void MigrationSlave::enqueue(BoundMigration m) {
+  DYRS_CHECK_MSG(datanode_.has_block(m.block),
+                 "slave " << id() << " asked to migrate non-local block " << m.block);
+  DYRS_CHECK_MSG(!has_local_migration(m.block),
+                 "block " << m.block << " already bound to slave " << id());
+  if (buffers_.contains(m.block)) {
+    // Already in memory (another job migrated it earlier): just reference.
+    buffers_.add_refs(m.block, m.jobs);
+    return;
+  }
+  queue_.push_back(std::move(m));
+  maybe_start();
+}
+
+bool MigrationSlave::has_local_migration(BlockId block) const {
+  if (active_.count(block)) return true;
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [block](const BoundMigration& m) { return m.block == block; });
+}
+
+bool MigrationSlave::add_refs_if_local(BlockId block, const std::map<JobId, EvictionMode>& jobs) {
+  auto it = active_.find(block);
+  if (it != active_.end()) {
+    for (const auto& [job, mode] : jobs) it->second.m.jobs[job] = mode;
+    buffers_.add_refs(block, jobs);  // reservation already installed refs
+    return true;
+  }
+  auto qit = std::find_if(queue_.begin(), queue_.end(),
+                          [block](const BoundMigration& m) { return m.block == block; });
+  if (qit == queue_.end()) return false;
+  for (const auto& [job, mode] : jobs) qit->jobs[job] = mode;
+  return true;
+}
+
+bool MigrationSlave::cancel_for_job(BlockId block, JobId job) {
+  auto it = active_.find(block);
+  if (it != active_.end()) {
+    it->second.m.jobs.erase(job);
+    if (!it->second.m.jobs.empty()) return false;  // others still want it
+    return cancel_block(block);
+  }
+  auto qit = std::find_if(queue_.begin(), queue_.end(),
+                          [block](const BoundMigration& m) { return m.block == block; });
+  if (qit == queue_.end()) return false;
+  qit->jobs.erase(job);
+  if (!qit->jobs.empty()) return false;
+  return cancel_block(block);
+}
+
+void MigrationSlave::maybe_start() {
+  if (!datanode_.serving()) return;
+  if (config_.serialize_migrations) {
+    while (active_.empty() && !queue_.empty()) {
+      BoundMigration next = std::move(queue_.front());
+      queue_.pop_front();
+      if (!start_migration(std::move(next))) break;  // stalled: requeued at front
+    }
+  } else {
+    // Ignem-style: launch queued work concurrently, up to the cap.
+    while (!queue_.empty() &&
+           (config_.max_concurrent_migrations <= 0 ||
+            static_cast<int>(active_.size()) < config_.max_concurrent_migrations)) {
+      BoundMigration next = std::move(queue_.front());
+      queue_.pop_front();
+      if (!start_migration(std::move(next))) break;
+    }
+  }
+}
+
+bool MigrationSlave::start_migration(BoundMigration m) {
+  // Reserve memory up front: mlock consumes pages as it reads. If the
+  // buffer is full, stall the queue until an eviction or a missed-read
+  // cancellation makes room (§IV-A1).
+  if (!buffers_.try_add(m.block, m.size, m.jobs)) {
+    stalled_ = true;
+    queue_.push_front(std::move(m));
+    return false;
+  }
+  stalled_ = false;
+  const BlockId block = m.block;
+  const Bytes size = m.size;
+  Active active;
+  active.m = std::move(m);
+  active.started_at = sim_.now();
+  active.flow = datanode_.node().disk().start_io(
+      cluster::IoClass::MigrationRead, size,
+      [this, block](SimTime t) { finish_migration(block, t); });
+  active_.emplace(block, std::move(active));
+  return true;
+}
+
+void MigrationSlave::finish_migration(BlockId block, SimTime finished) {
+  auto it = active_.find(block);
+  DYRS_CHECK(it != active_.end());
+  const Active& a = it->second;
+  const double duration_s = to_seconds(finished - a.started_at);
+  estimator_.on_complete(a.m.size, duration_s);
+
+  MigrationRecord record;
+  record.block = block;
+  record.node = id();
+  record.size = a.m.size;
+  record.bound_at = a.m.bound_at;
+  record.started_at = a.started_at;
+  record.finished_at = finished;
+  active_.erase(it);
+  ++completed_;
+  if (callbacks_.on_complete) callbacks_.on_complete(record);
+  maybe_start();
+}
+
+bool MigrationSlave::cancel_block(BlockId block) {
+  auto it = active_.find(block);
+  if (it != active_.end()) {
+    datanode_.node().disk().cancel(it->second.flow);
+    active_.erase(it);
+    buffers_.force_evict(block);  // releases the reserved pages
+    maybe_start();
+    return true;
+  }
+  auto qit = std::find_if(queue_.begin(), queue_.end(),
+                          [block](const BoundMigration& m) { return m.block == block; });
+  if (qit != queue_.end()) {
+    queue_.erase(qit);
+    // Dropping a queued entry can unstall admission for the new head.
+    maybe_start();
+    return true;
+  }
+  return false;
+}
+
+void MigrationSlave::heartbeat() {
+  if (!datanode_.serving()) return;
+  // Overdue correction: fold in the elapsed time of in-flight migrations
+  // that have outlived their estimate (§IV-A).
+  for (const auto& [block, a] : active_) {
+    estimator_.on_overdue(a.m.size, to_seconds(sim_.now() - a.started_at));
+  }
+  // Threshold-triggered scavenge of references held by dead jobs.
+  if (job_active_query && buffers_.over_threshold(config_.scavenge_threshold)) {
+    report_evicted(buffers_.scavenge(job_active_query));
+  }
+  if (stalled_ || (!queue_.empty() && (!config_.serialize_migrations || active_.empty()))) {
+    maybe_start();
+  }
+}
+
+void MigrationSlave::report_evicted(const std::vector<BlockId>& evicted) {
+  if (evicted.empty()) return;
+  if (callbacks_.on_evicted) callbacks_.on_evicted(id(), evicted);
+  // Freed memory may unstall the queue.
+  if (stalled_) maybe_start();
+}
+
+std::vector<BlockId> MigrationSlave::release_job(JobId job) {
+  auto evicted = buffers_.release_job(job);
+  report_evicted(evicted);
+  return evicted;
+}
+
+std::vector<BlockId> MigrationSlave::on_block_read(BlockId block, JobId job) {
+  auto evicted = buffers_.on_block_read(block, job);
+  report_evicted(evicted);
+  return evicted;
+}
+
+std::vector<BlockId> MigrationSlave::crash() {
+  // Abort in-flight migrations and drop their partial buffers first, so
+  // the returned list names only *completed* blocks the master may have
+  // registered as in-memory replicas.
+  for (auto& [block, a] : active_) {
+    datanode_.node().disk().cancel(a.flow);
+    buffers_.force_evict(block);
+  }
+  active_.clear();
+  queue_.clear();
+  stalled_ = false;
+  return buffers_.clear_all();
+}
+
+}  // namespace dyrs::core

@@ -1,0 +1,140 @@
+// DYRS slave — the migration worker inside each DataNode (paper §III, §IV).
+//
+// Responsibilities:
+//  * keep a bounded local FIFO queue of bound migrations, deep enough that
+//    the disk never idles between master pulls, shallow enough that binding
+//    stays late (depth = ceil(heartbeat / unloaded block read time), §III-B);
+//  * execute migrations — serialized by default, to avoid seek-thrashing
+//    the disk (Ignem-style concurrent execution is a config switch);
+//  * maintain the per-node migration-time estimate, with the overdue
+//    correction applied every heartbeat (§IV-A);
+//  * manage the memory buffer: reference lists, implicit/explicit eviction,
+//    scavenging of dead jobs, hard memory limit with queue stalling.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "dfs/datanode.h"
+#include "dyrs/buffer_manager.h"
+#include "dyrs/estimator.h"
+#include "dyrs/types.h"
+#include "sim/simulator.h"
+
+namespace dyrs::core {
+
+struct SlaveConfig {
+  SimDuration heartbeat_interval = seconds(1);
+  bool serialize_migrations = true;   // DYRS: true; Ignem: false
+  /// Concurrency cap when serialize_migrations is false; 0 = unlimited.
+  int max_concurrent_migrations = 0;
+  double ewma_alpha = 0.3;
+  bool overdue_correction = true;
+  Bytes reference_block = 256 * kMiB;
+  Bytes memory_limit = 0;             // cap for migrated data; 0 = node RAM
+  double scavenge_threshold = 0.9;    // buffer fraction that triggers scavenge
+  int extra_queue_depth = 0;          // added to the computed depth
+};
+
+class MigrationSlave {
+ public:
+  struct Callbacks {
+    /// A migration finished; the master registers the in-memory replica.
+    std::function<void(const MigrationRecord&)> on_complete;
+    /// Blocks were evicted from this slave's buffer; the master
+    /// unregisters their in-memory replicas.
+    std::function<void(NodeId, const std::vector<BlockId>&)> on_evicted;
+  };
+
+  MigrationSlave(sim::Simulator& sim, dfs::DataNode& datanode, SlaveConfig config,
+                 Callbacks callbacks);
+
+  NodeId id() const { return datanode_.id(); }
+
+  // --- queue ------------------------------------------------------------
+  /// Local queue depth (excluding the in-flight migration), §III-B.
+  int queue_capacity() const;
+  int queued_count() const { return static_cast<int>(queue_.size()); }
+  int in_flight_count() const { return static_cast<int>(active_.size()); }
+  /// Slots the master may fill on the next pull.
+  int free_slots() const;
+  /// Bytes bound locally and not yet migrated (queue + in-flight).
+  Bytes bound_bytes() const;
+
+  /// Binds a migration to this slave (final, §III-A). Respects nothing —
+  /// capacity discipline is the *master's* job on the pull path; eager
+  /// strategies (Ignem) push without limit.
+  void enqueue(BoundMigration m);
+
+  /// Cancels a queued or in-flight migration of `block`. Returns true if
+  /// one was found. Reserved memory is released.
+  bool cancel_block(BlockId block);
+
+  bool has_local_migration(BlockId block) const;
+
+  /// Merges additional job references into a queued/in-flight migration of
+  /// `block` (a later job requested a block already being migrated here).
+  /// Returns false if the block is not bound locally.
+  bool add_refs_if_local(BlockId block, const std::map<JobId, EvictionMode>& jobs);
+
+  /// Drops `job`'s interest in a local migration of `block`; cancels the
+  /// migration outright when no other job still wants it. Returns true if
+  /// the migration was fully cancelled.
+  bool cancel_for_job(BlockId block, JobId job);
+
+  // --- heartbeat --------------------------------------------------------
+  /// Periodic work: overdue estimator update, stalled-queue retry,
+  /// threshold-triggered scavenging.
+  void heartbeat();
+
+  // --- eviction entry points (routed via master) ------------------------
+  std::vector<BlockId> release_job(JobId job);
+  std::vector<BlockId> on_block_read(BlockId block, JobId job);
+
+  // --- failure ----------------------------------------------------------
+  /// Process crash: queue and in-flight migrations die, buffers are
+  /// reclaimed. Returns blocks that were buffered.
+  std::vector<BlockId> crash();
+
+  MigrationEstimator& estimator() { return estimator_; }
+  const MigrationEstimator& estimator() const { return estimator_; }
+  BufferManager& buffers() { return buffers_; }
+  const BufferManager& buffers() const { return buffers_; }
+  const SlaveConfig& config() const { return config_; }
+  dfs::DataNode& datanode() { return datanode_; }
+
+  /// Cluster-scheduler liveness oracle used by the scavenger. Unset means
+  /// "assume every referencing job is still active".
+  std::function<bool(JobId)> job_active_query;
+
+  long migrations_completed() const { return completed_; }
+  bool stalled() const { return stalled_; }
+
+ private:
+  struct Active {
+    BoundMigration m;
+    SimTime started_at = 0;
+    cluster::Disk::FlowId flow = 0;
+  };
+
+  void maybe_start();
+  bool start_migration(BoundMigration m);
+  void finish_migration(BlockId block, SimTime finished);
+  void report_evicted(const std::vector<BlockId>& evicted);
+
+  sim::Simulator& sim_;
+  dfs::DataNode& datanode_;
+  SlaveConfig config_;
+  Callbacks callbacks_;
+  MigrationEstimator estimator_;
+  BufferManager buffers_;
+
+  std::deque<BoundMigration> queue_;
+  std::unordered_map<BlockId, Active> active_;
+  bool stalled_ = false;
+  long completed_ = 0;
+};
+
+}  // namespace dyrs::core

@@ -1,0 +1,60 @@
+// Shared types of the DYRS migration framework.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace dyrs::core {
+
+/// How a job's reference on a migrated block is dropped (paper §III-C3):
+/// explicitly via an evict command (typically at job completion), or
+/// implicitly as soon as the job has read the block.
+enum class EvictionMode { Explicit, Implicit };
+
+/// A block waiting at the master to be bound to a slave.
+struct PendingMigration {
+  BlockId block;
+  Bytes size = 0;
+  /// Jobs that requested this block, with their eviction mode.
+  std::map<JobId, EvictionMode> jobs;
+  /// Disk replica holders (raw placement; availability checked at use).
+  std::vector<NodeId> replicas;
+  /// Node Algorithm 1 currently expects to finish this block soonest.
+  NodeId target = NodeId::invalid();
+  SimTime requested_at = 0;
+};
+
+/// A migration bound to a specific slave.
+struct BoundMigration {
+  BlockId block;
+  Bytes size = 0;
+  std::map<JobId, EvictionMode> jobs;
+  SimTime bound_at = 0;
+};
+
+/// Completed-migration record, kept by the master for the figure benches
+/// (straggler timelines, adaptivity traces).
+struct MigrationRecord {
+  BlockId block;
+  NodeId node;
+  Bytes size = 0;
+  SimTime bound_at = 0;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+};
+
+/// Why a migration never completed.
+enum class CancelReason { MissedRead, SlaveCrash, Superseded };
+
+struct CancelRecord {
+  BlockId block;
+  NodeId node = NodeId::invalid();  // invalid if cancelled while pending
+  CancelReason reason = CancelReason::MissedRead;
+  SimTime at = 0;
+};
+
+}  // namespace dyrs::core

@@ -1,0 +1,359 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "dyrs/master.h"
+
+namespace dyrs::exec {
+
+Engine::Engine(cluster::Cluster& cluster, dfs::NameNode& namenode, dfs::DFSClient& client,
+               Options options)
+    : cluster_(cluster),
+      namenode_(namenode),
+      client_(client),
+      options_(options),
+      rng_(options.seed) {
+  DYRS_CHECK(options_.map_slots_per_node > 0);
+  DYRS_CHECK(options_.reduce_slots_per_node >= 0);
+  DYRS_CHECK(options_.output_replication >= 1);
+  for (NodeId id : cluster_.node_ids()) {
+    slots_[id] = {options_.map_slots_per_node, options_.reduce_slots_per_node};
+  }
+  if (options_.speculative_execution) {
+    DYRS_CHECK(options_.speculation_slowdown > 1.0);
+    speculation_timer_ = cluster_.simulator().every(options_.speculation_check_interval,
+                                                    [this]() { speculation_pass(); });
+  }
+}
+
+Engine::~Engine() { speculation_timer_.cancel(); }
+
+void Engine::set_migration_service(core::MigrationService* service) {
+  service_ = service;
+  client_.set_read_hooks(service);
+  // The scavenger asks the cluster scheduler which jobs are alive
+  // (§III-C3); wire that query into DYRS-style masters.
+  if (auto* master = dynamic_cast<core::MigrationMaster*>(service)) {
+    master->set_job_active_query([this](JobId id) { return job_active(id); });
+  }
+}
+
+JobId Engine::submit(const JobSpec& spec) {
+  const JobId id(next_job_++);
+  begin_submission(id, spec);
+  return id;
+}
+
+JobId Engine::submit_at(const JobSpec& spec, SimTime at) {
+  const JobId id(next_job_++);
+  ++pending_submissions_;
+  cluster_.simulator().schedule_at(at, [this, id, spec]() {
+    --pending_submissions_;
+    begin_submission(id, spec);
+  });
+  return id;
+}
+
+void Engine::begin_submission(JobId id, JobSpec spec) {
+  DYRS_CHECK_MSG(!spec.input_files.empty(), "job needs at least one input file");
+  Job job;
+  job.id = id;
+  job.record.id = id;
+  job.record.name = spec.name;
+  job.record.submitted = cluster_.simulator().now();
+
+  // The job submitter issues the migration call first thing (§IV-B), so
+  // the whole lead-time is available for migration.
+  if (spec.request_migration && service_) {
+    service_->migrate_files(id, spec.input_files, spec.eviction);
+  }
+
+  for (BlockId block : namenode_.ns().blocks_of(spec.input_files)) {
+    MapTask task;
+    task.id = TaskId(next_task_++);
+    task.block = block;
+    task.size = namenode_.ns().block(block).size;
+    job.record.input_size += task.size;
+    job.maps.push_back(task);
+  }
+  job.maps_remaining = static_cast<int>(job.maps.size());
+  job.record.num_maps = job.maps_remaining;
+  for (int i = 0; i < spec.num_reducers; ++i) {
+    job.reduces.push_back({TaskId(next_task_++), false});
+  }
+  job.reduces_remaining = spec.num_reducers;
+  job.record.num_reduces = spec.num_reducers;
+
+  const SimDuration wait = spec.platform_overhead + spec.extra_lead_time;
+  job.spec = std::move(spec);
+  active_.emplace(id, std::move(job));
+  cluster_.simulator().schedule_after(wait, [this, id]() { make_eligible(id); });
+}
+
+Engine::Job& Engine::job_state(JobId id) {
+  auto it = active_.find(id);
+  DYRS_CHECK_MSG(it != active_.end(), "job " << id << " not active");
+  return it->second;
+}
+
+void Engine::make_eligible(JobId id) {
+  Job& job = job_state(id);
+  job.record.eligible = cluster_.simulator().now();
+  runnable_.push_back(id);
+  try_schedule();
+}
+
+void Engine::try_schedule() {
+  // Keep assigning until no node can take another task this round.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (NodeId node : cluster_.node_ids()) {
+      if (!cluster_.node(node).alive()) continue;
+      if (slots_[node].map_free > 0 && schedule_map_on(node)) progress = true;
+      if (slots_[node].reduce_free > 0 && schedule_reduce_on(node)) progress = true;
+    }
+  }
+}
+
+bool Engine::map_is_local(NodeId node, BlockId block) const {
+  const auto memory = namenode_.memory_locations(block);
+  if (std::find(memory.begin(), memory.end(), node) != memory.end()) return true;
+  const auto disk = namenode_.block_locations(block);
+  return std::find(disk.begin(), disk.end(), node) != disk.end();
+}
+
+bool Engine::schedule_map_on(NodeId node) {
+  // Pass 1: data-local task, FIFO across jobs. Pass 2: any task.
+  for (const bool require_local : {true, false}) {
+    for (JobId jid : runnable_) {
+      auto it = active_.find(jid);
+      if (it == active_.end()) continue;
+      Job& job = it->second;
+      for (MapTask& task : job.maps) {
+        if (task.scheduled) continue;
+        if (require_local && !map_is_local(node, task.block)) continue;
+        task.scheduled = true;
+        --slots_[node].map_free;
+        run_map(job, task, node, /*speculative=*/false);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Engine::schedule_reduce_on(NodeId node) {
+  for (JobId jid : runnable_) {
+    auto it = active_.find(jid);
+    if (it == active_.end()) continue;
+    Job& job = it->second;
+    if (!job.reduces_runnable) continue;
+    for (ReduceTask& task : job.reduces) {
+      if (task.scheduled) continue;
+      task.scheduled = true;
+      --slots_[node].reduce_free;
+      run_reduce(job, task, node);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::run_map(Job& job, MapTask& task, NodeId node, bool speculative) {
+  auto& sim = cluster_.simulator();
+  auto record = std::make_shared<TaskRecord>();
+  record->id = task.id;
+  record->job = job.id;
+  record->phase = TaskPhase::Map;
+  record->node = node;
+  record->block = task.block;
+  record->input = task.size;
+  record->started = sim.now();
+  if (job.record.first_task_start == 0) job.record.first_task_start = sim.now();
+
+  if (!task.done) task.done = std::make_shared<bool>(false);
+  ++task.attempts;
+  if (!speculative) {
+    task.first_started = sim.now();
+    task.first_node = node;
+  }
+
+  const JobId jid = job.id;
+  const BlockId block = task.block;
+  const Bytes size = task.size;
+  const Rate compute_rate = job.spec.map_compute_rate;
+  const SimDuration overhead = job.spec.task_overhead;
+  auto done_flag = task.done;
+
+  // Container launch, then input read, then compute.
+  sim.schedule_after(overhead, [this, jid, block, node, size, compute_rate, record,
+                                done_flag, speculative]() {
+    record->read_started = cluster_.simulator().now();
+    client_.read_block(block, node, jid, [this, jid, node, size, compute_rate, record,
+                                          done_flag, speculative](const dfs::ReadInfo& info) {
+      record->read_done = info.end;
+      record->medium = info.medium;
+      record->read_source = info.source;
+      const auto compute = static_cast<SimDuration>(
+          static_cast<double>(size) / compute_rate * 1e6);
+      cluster_.simulator().schedule_after(
+          compute, [this, jid, node, record, done_flag, speculative]() {
+            ++slots_[node].map_free;
+            if (*done_flag) {
+              // The other attempt won; this one just releases its slot.
+              try_schedule();
+              return;
+            }
+            *done_flag = true;
+            if (speculative) ++speculative_wins_;
+            record->finished = cluster_.simulator().now();
+            metrics_.add_task(*record);
+            auto it = active_.find(jid);
+            if (it != active_.end()) {
+              Job& j = it->second;
+              j.completed_map_durations_s.push_back(record->duration_s());
+              if (--j.maps_remaining == 0) on_maps_complete(j);
+            }
+            try_schedule();
+          });
+    });
+  });
+}
+
+void Engine::speculation_pass() {
+  for (auto& [jid, job] : active_) {
+    if (static_cast<int>(job.completed_map_durations_s.size()) <
+        options_.speculation_min_completed) {
+      continue;
+    }
+    std::vector<double> durations = job.completed_map_durations_s;
+    const auto mid = durations.begin() + static_cast<std::ptrdiff_t>(durations.size() / 2);
+    std::nth_element(durations.begin(), mid, durations.end());
+    const double median = *mid;
+    const double threshold = median * options_.speculation_slowdown;
+    for (MapTask& task : job.maps) {
+      if (!task.scheduled || task.attempts != 1 || (task.done && *task.done)) continue;
+      const double elapsed = to_seconds(cluster_.simulator().now() - task.first_started);
+      if (elapsed < threshold) continue;
+      // Find a free slot on a different node.
+      for (NodeId node : cluster_.node_ids()) {
+        if (node == task.first_node || !cluster_.node(node).alive()) continue;
+        if (slots_[node].map_free <= 0) continue;
+        --slots_[node].map_free;
+        ++speculative_launches_;
+        run_map(job, task, node, /*speculative=*/true);
+        break;
+      }
+    }
+  }
+}
+
+void Engine::on_maps_complete(Job& job) {
+  job.record.maps_done = cluster_.simulator().now();
+  if (job.reduces.empty()) {
+    finish_job(job);
+    return;
+  }
+  job.reduces_runnable = true;
+  try_schedule();
+}
+
+void Engine::run_reduce(Job& job, ReduceTask& task, NodeId node) {
+  auto& sim = cluster_.simulator();
+  auto record = std::make_shared<TaskRecord>();
+  record->id = task.id;
+  record->job = job.id;
+  record->phase = TaskPhase::Reduce;
+  record->node = node;
+  record->started = sim.now();
+
+  const JobId jid = job.id;
+  const Bytes shuffle_total =
+      job.spec.shuffle_bytes >= 0
+          ? job.spec.shuffle_bytes
+          : static_cast<Bytes>(static_cast<double>(job.record.input_size) *
+                               job.spec.selectivity);
+  const Bytes output_total = job.spec.output_bytes >= 0 ? job.spec.output_bytes : shuffle_total;
+  const auto reducers = static_cast<Bytes>(job.reduces.size());
+  const Bytes shuffle_share = shuffle_total / reducers;
+  const Bytes output_share = output_total / reducers;
+  const Rate compute_rate = job.spec.reduce_compute_rate;
+  const SimDuration overhead = job.spec.task_overhead;
+  record->input = shuffle_share;
+
+  auto do_write = [this, jid, node, output_share, record]() {
+    auto finish = [this, jid, node, record]() {
+      record->finished = cluster_.simulator().now();
+      metrics_.add_task(*record);
+      ++slots_[node].reduce_free;
+      auto it = active_.find(jid);
+      if (it != active_.end()) {
+        Job& j = it->second;
+        if (--j.reduces_remaining == 0) finish_job(j);
+      }
+      try_schedule();
+    };
+    if (output_share > 0) {
+      // HDFS write pipeline: one copy on the local disk plus
+      // output_replication-1 copies on distinct random remote disks. The
+      // reducer completes when the slowest pipeline member finishes.
+      std::vector<NodeId> writers{node};
+      std::vector<NodeId> others;
+      for (NodeId n : cluster_.node_ids()) {
+        if (n != node && cluster_.node(n).alive()) others.push_back(n);
+      }
+      std::shuffle(others.begin(), others.end(), rng_.engine());
+      for (int r = 1; r < options_.output_replication &&
+                      static_cast<std::size_t>(r - 1) < others.size();
+           ++r) {
+        writers.push_back(others[static_cast<std::size_t>(r - 1)]);
+      }
+      auto remaining = std::make_shared<int>(static_cast<int>(writers.size()));
+      for (NodeId w : writers) {
+        cluster_.node(w).disk().start_io(cluster::IoClass::Write, output_share,
+                                         [finish, remaining](SimTime) {
+                                           if (--*remaining == 0) finish();
+                                         });
+      }
+    } else {
+      finish();
+    }
+  };
+
+  auto do_compute = [this, shuffle_share, compute_rate, record, do_write]() {
+    record->read_done = cluster_.simulator().now();
+    const auto compute = static_cast<SimDuration>(
+        static_cast<double>(shuffle_share) / compute_rate * 1e6);
+    cluster_.simulator().schedule_after(compute, do_write);
+  };
+
+  sim.schedule_after(overhead, [this, node, shuffle_share, record, do_compute]() {
+    record->read_started = cluster_.simulator().now();
+    if (shuffle_share > 0) {
+      // Shuffle fetch, modeled as a fair-share flow on this node's NIC.
+      cluster_.node(node).nic().start_flow(shuffle_share,
+                                           [do_compute](SimTime) { do_compute(); });
+    } else {
+      do_compute();
+    }
+  });
+}
+
+void Engine::finish_job(Job& job) {
+  job.record.finished = cluster_.simulator().now();
+  const JobRecord record = job.record;
+  const JobId id = job.id;
+  runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), id), runnable_.end());
+  metrics_.add_job(record);
+  active_.erase(id);
+  if (service_) service_->on_job_finished(id);
+  // Copy before invoking: handlers (e.g. the Hive query runner) may
+  // reassign on_job_done from inside the callback; the copy keeps the
+  // executing closure alive through that reassignment.
+  if (auto callback = on_job_done) callback(record);
+}
+
+}  // namespace dyrs::exec

@@ -1,0 +1,51 @@
+// Job specification for the MapReduce-style execution engine.
+//
+// A job reads its input files (one map task per block), applies a
+// selectivity factor (map output / map input — the data reduction the
+// paper's motivation leans on, §II-A), shuffles to reducers, and writes
+// output. Timing knobs mirror the lead-time sources of §II-C1: platform
+// overhead (JVM warm-up, shipping binaries, heartbeat coordination) plus
+// optional artificial lead-time (Fig 11's experiments).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dyrs/types.h"
+
+namespace dyrs::exec {
+
+struct JobSpec {
+  std::string name;
+  std::vector<std::string> input_files;
+
+  /// Map-stage data reduction: map output bytes = input * selectivity.
+  double selectivity = 1.0;
+  /// Bytes moved in the shuffle; negative means input * selectivity.
+  Bytes shuffle_bytes = -1;
+  /// Job output bytes; negative means shuffle_bytes.
+  Bytes output_bytes = -1;
+  int num_reducers = 1;
+
+  /// Queueing/startup delay between submission and tasks becoming
+  /// runnable (Google-trace mean is 8.8s; our default is conservative).
+  SimDuration platform_overhead = seconds(5);
+  /// Artificially inserted lead-time (Fig 11b): delays task eligibility,
+  /// NOT the migration call, which always fires at submission.
+  SimDuration extra_lead_time = 0;
+
+  /// Whether the job submitter issues the migration call at submission.
+  bool request_migration = true;
+  core::EvictionMode eviction = core::EvictionMode::Implicit;
+
+  // --- compute model ----------------------------------------------------
+  /// Per-task map processing rate over its input bytes.
+  Rate map_compute_rate = mib_per_sec(800);
+  /// Per-task reduce processing rate over its shuffle share.
+  Rate reduce_compute_rate = mib_per_sec(800);
+  /// Fixed per-task cost (container launch, task setup).
+  SimDuration task_overhead = milliseconds(200);
+};
+
+}  // namespace dyrs::exec

@@ -1,0 +1,44 @@
+#include "exec/metrics.h"
+
+#include "common/check.h"
+
+namespace dyrs::exec {
+
+double Metrics::mean_job_duration_s() const {
+  if (jobs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& j : jobs_) sum += j.duration_s();
+  return sum / static_cast<double>(jobs_.size());
+}
+
+double Metrics::mean_map_task_duration_s() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& t : tasks_) {
+    if (t.phase != TaskPhase::Map) continue;
+    sum += t.duration_s();
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Metrics::memory_read_fraction() const {
+  double mem = 0.0, total = 0.0;
+  for (const auto& t : tasks_) {
+    if (t.phase != TaskPhase::Map) continue;
+    total += static_cast<double>(t.input);
+    if (dfs::is_memory(t.medium)) mem += static_cast<double>(t.input);
+  }
+  return total > 0.0 ? mem / total : 0.0;
+}
+
+const JobRecord& Metrics::job(JobId id) const {
+  for (const auto& j : jobs_) {
+    if (j.id == id) return j;
+  }
+  DYRS_CHECK_MSG(false, "no record for job " << id);
+  // Unreachable; DYRS_CHECK_MSG throws.
+  throw CheckError("unreachable");
+}
+
+}  // namespace dyrs::exec

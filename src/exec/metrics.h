@@ -1,0 +1,74 @@
+// Execution metrics: per-task and per-job records the evaluation section
+// aggregates (job durations, map-task durations, speedups, read media).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "dfs/types.h"
+
+namespace dyrs::exec {
+
+enum class TaskPhase { Map, Reduce };
+
+struct TaskRecord {
+  TaskId id;
+  JobId job;
+  TaskPhase phase = TaskPhase::Map;
+  NodeId node;              // where the task ran
+  BlockId block;            // map input block (invalid for reduce)
+  Bytes input = 0;
+  SimTime started = 0;      // container launch
+  SimTime read_started = 0;
+  SimTime read_done = 0;
+  SimTime finished = 0;
+  dfs::ReadMedium medium = dfs::ReadMedium::LocalDisk;
+  NodeId read_source;
+
+  double duration_s() const { return to_seconds(finished - started); }
+  double read_s() const { return to_seconds(read_done - read_started); }
+};
+
+struct JobRecord {
+  JobId id;
+  std::string name;
+  Bytes input_size = 0;
+  SimTime submitted = 0;
+  SimTime eligible = 0;         // submitted + platform overhead (+ lead-time)
+  SimTime first_task_start = 0;
+  SimTime maps_done = 0;
+  SimTime finished = 0;
+  int num_maps = 0;
+  int num_reduces = 0;
+
+  double duration_s() const { return to_seconds(finished - submitted); }
+  double map_phase_s() const { return to_seconds(maps_done - submitted); }
+  /// Lead-time as the paper defines it: submission to first task start.
+  double lead_time_s() const { return to_seconds(first_task_start - submitted); }
+};
+
+class Metrics {
+ public:
+  void add_task(const TaskRecord& r) { tasks_.push_back(r); }
+  void add_job(const JobRecord& r) { jobs_.push_back(r); }
+
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+
+  /// Mean end-to-end job duration in seconds (Table I's statistic).
+  double mean_job_duration_s() const;
+  /// Mean map-task duration in seconds (Fig 6's statistic).
+  double mean_map_task_duration_s() const;
+  /// Fraction of map-task input bytes read from memory.
+  double memory_read_fraction() const;
+
+  const JobRecord& job(JobId id) const;
+
+ private:
+  std::vector<TaskRecord> tasks_;
+  std::vector<JobRecord> jobs_;
+};
+
+}  // namespace dyrs::exec

@@ -1,0 +1,118 @@
+#include "exec/testbed.h"
+
+#include "common/check.h"
+
+namespace dyrs::exec {
+
+const char* to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::Hdfs: return "HDFS";
+    case Scheme::InputsInRam: return "HDFS-Inputs-in-RAM";
+    case Scheme::Ignem: return "Ignem";
+    case Scheme::Dyrs: return "DYRS";
+    case Scheme::NaiveBalancer: return "NaiveBalancer";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  cluster_ = std::make_unique<cluster::Cluster>(
+      sim_, cluster::Cluster::Options{
+                .num_nodes = config_.num_nodes,
+                .node = {.disk = {.name = "disk",
+                                  .bandwidth = config_.disk_bandwidth,
+                                  .seek_alpha = config_.seek_alpha},
+                         .memory = {.capacity = config_.node_memory,
+                                    .read_bandwidth = config_.memory_bandwidth},
+                         .nic_bandwidth = config_.nic_bandwidth},
+                .per_node = nullptr});
+
+  namenode_ = std::make_unique<dfs::NameNode>(
+      sim_, dfs::NameNode::Options{.block_size = config_.block_size,
+                                   .replication = config_.replication,
+                                   .heartbeat_interval = config_.dfs_heartbeat,
+                                   .heartbeat_miss_limit = 3,
+                                   .placement_seed = config_.placement_seed});
+  for (NodeId id : cluster_->node_ids()) {
+    datanodes_.push_back(std::make_unique<dfs::DataNode>(cluster_->node(id)));
+    namenode_->register_datanode(datanodes_.back().get());
+  }
+  std::vector<dfs::DataNode*> dns;
+  for (auto& dn : datanodes_) dns.push_back(dn.get());
+  heartbeats_ = std::make_unique<dfs::HeartbeatDriver>(sim_, *namenode_, dns);
+  client_ = std::make_unique<dfs::DFSClient>(*cluster_, *namenode_);
+
+  switch (config_.scheme) {
+    case Scheme::Hdfs:
+      none_ = core::make_no_migration();
+      service_ = none_.get();
+      break;
+    case Scheme::InputsInRam:
+      oracle_ = core::make_inputs_in_ram(*cluster_, *namenode_);
+      service_ = oracle_.get();
+      break;
+    case Scheme::Ignem:
+      master_ = core::make_ignem(*cluster_, *namenode_, config_.master);
+      service_ = master_.get();
+      break;
+    case Scheme::Dyrs:
+      master_ = core::make_dyrs(*cluster_, *namenode_, config_.master);
+      service_ = master_.get();
+      break;
+    case Scheme::NaiveBalancer:
+      master_ = core::make_naive_balancer(*cluster_, *namenode_, config_.master);
+      service_ = master_.get();
+      break;
+  }
+
+  Engine::Options engine_opts;
+  engine_opts.map_slots_per_node = config_.map_slots_per_node;
+  engine_opts.reduce_slots_per_node = config_.reduce_slots_per_node;
+  engine_opts.output_replication = config_.output_replication;
+  engine_opts.speculative_execution = config_.speculative_execution;
+  engine_opts.seed = config_.placement_seed + 31;
+  engine_ = std::make_unique<Engine>(*cluster_, *namenode_, *client_, engine_opts);
+  engine_->set_migration_service(service_);
+}
+
+Testbed::~Testbed() = default;
+
+const dfs::FileMeta& Testbed::load_file(const std::string& name, Bytes size) {
+  return namenode_->create_file(name, size);
+}
+
+void Testbed::remove_file(const std::string& name) {
+  auto blocks = namenode_->delete_file(name);
+  if (service_ != nullptr) service_->on_blocks_deleted(blocks);
+}
+
+cluster::DiskInterference& Testbed::add_persistent_interference(NodeId node, int width) {
+  persistent_.push_back(
+      std::make_unique<cluster::DiskInterference>(cluster_->node(node).disk(), width));
+  persistent_.back()->activate();
+  return *persistent_.back();
+}
+
+cluster::AlternatingInterference& Testbed::add_alternating_interference(NodeId node,
+                                                                        SimDuration period,
+                                                                        bool initially_active,
+                                                                        int width) {
+  alternating_.push_back(std::make_unique<cluster::AlternatingInterference>(
+      sim_, cluster_->node(node).disk(), period, initially_active, width));
+  return *alternating_.back();
+}
+
+SimTime Testbed::run(SimTime max_time) {
+  // Heartbeats and interference timers keep the queue non-empty forever,
+  // so "run to completion" means "run until the engine drains". Never
+  // steps past max_time: events beyond the horizon stay queued.
+  while (!engine_->all_done()) {
+    const SimTime next = sim_.next_event_time();
+    DYRS_CHECK_MSG(next >= 0, "simulation deadlocked with active jobs");
+    if (next > max_time) break;
+    sim_.step();
+  }
+  return sim_.now();
+}
+
+}  // namespace dyrs::exec

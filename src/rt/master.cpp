@@ -1,0 +1,143 @@
+#include "rt/master.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dyrs::rt {
+
+RtMaster::RtMaster(Options options) : options_(std::move(options)) {
+  DYRS_CHECK(!options_.slaves.empty());
+  for (const auto& slave_opts : options_.slaves) {
+    auto slave = std::make_unique<RtSlave>(
+        slave_opts, [this](const RtMigrationDone& d) { on_complete(d); },
+        [this](NodeId node, int space) { return pull(node, space); });
+    slaves_.emplace(slave_opts.node, std::move(slave));
+  }
+  retargeter_ = std::jthread([this](std::stop_token st) { retarget_loop(st); });
+}
+
+RtMaster::~RtMaster() { shutdown(); }
+
+void RtMaster::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  retargeter_.request_stop();
+  if (retargeter_.joinable()) retargeter_.join();
+  for (auto& [id, slave] : slaves_) slave->stop();
+}
+
+RtSlave& RtMaster::slave(NodeId id) {
+  auto it = slaves_.find(id);
+  DYRS_CHECK_MSG(it != slaves_.end(), "no rt slave " << id);
+  return *it->second;
+}
+
+void RtMaster::migrate(const std::vector<RtBlock>& blocks) {
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& b : blocks) {
+      core::PendingMigration pm;
+      pm.block = b.block;
+      pm.size = b.size;
+      pm.replicas = b.replicas;
+      pm.jobs[JobId(0)] = core::EvictionMode::Explicit;
+      pending_.push_back(std::move(pm));
+      ++outstanding_;
+    }
+    retarget_locked();
+  }
+  for (auto& [id, slave] : slaves_) slave->poke();
+}
+
+void RtMaster::retarget_locked() {
+  if (pending_.empty()) return;
+  std::vector<core::SlaveSnapshot> snapshots;
+  snapshots.reserve(slaves_.size());
+  for (auto& [id, slave] : slaves_) {
+    snapshots.push_back({.node = id,
+                         .sec_per_byte = slave->sec_per_byte(),
+                         .queued_bytes = slave->bound_bytes()});
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const auto& a, const auto& b) { return a.node < b.node; });
+  std::vector<core::PendingMigration*> ptrs;
+  ptrs.reserve(pending_.size());
+  for (auto& pm : pending_) ptrs.push_back(&pm);
+  core::assign_targets(ptrs, snapshots);
+}
+
+void RtMaster::retarget_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    {
+      std::lock_guard lock(mu_);
+      retarget_locked();
+    }
+    std::this_thread::sleep_for(options_.retarget_interval);
+  }
+}
+
+std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
+  std::vector<RtMigration> out;
+  std::lock_guard lock(mu_);
+  auto it = pending_.begin();
+  while (space > 0 && it != pending_.end()) {
+    auto cur = it++;
+    if (cur->target != node) continue;
+    out.push_back({cur->block, cur->size});
+    pending_.erase(cur);
+    --space;
+  }
+  return out;
+}
+
+void RtMaster::on_complete(const RtMigrationDone& done) {
+  std::lock_guard lock(mu_);
+  ++completed_;
+  ++per_node_[done.node];
+  if (--outstanding_ == 0) idle_cv_.notify_all();
+}
+
+bool RtMaster::cancel(BlockId block) {
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->block == block) {
+        pending_.erase(it);
+        if (--outstanding_ == 0) idle_cv_.notify_all();
+        return true;
+      }
+    }
+  }
+  // Bound somewhere: ask each slave. Slave locks are acquired after the
+  // master lock is released, so the master->slave order never inverts.
+  for (auto& [id, slave] : slaves_) {
+    if (slave->cancel(block)) {
+      std::lock_guard lock(mu_);
+      if (--outstanding_ == 0) idle_cv_.notify_all();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RtMaster::wait_idle(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  return idle_cv_.wait_for(lock, timeout, [this] { return outstanding_ == 0; });
+}
+
+std::size_t RtMaster::pending() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+long RtMaster::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::unordered_map<NodeId, long> RtMaster::completed_per_node() const {
+  std::lock_guard lock(mu_);
+  return per_node_;
+}
+
+}  // namespace dyrs::rt

@@ -1,0 +1,144 @@
+#include "rt/slave.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace dyrs::rt {
+
+RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
+                 std::function<std::vector<RtMigration>(NodeId, int)> pull)
+    : options_(options),
+      disk_(options.disk_bandwidth),
+      on_complete_(std::move(on_complete)),
+      pull_(std::move(pull)),
+      estimator_({.ewma_alpha = options.ewma_alpha,
+                  .reference_block = options.reference_block,
+                  .fallback_rate = options.disk_bandwidth,
+                  .overdue_correction = true}),
+      worker_([this](std::stop_token st) { worker_loop(st); }) {
+  DYRS_CHECK(options_.queue_capacity >= 1);
+  DYRS_CHECK(pull_ != nullptr);
+}
+
+RtSlave::~RtSlave() { stop(); }
+
+void RtSlave::stop() {
+  worker_.request_stop();
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void RtSlave::poke() {
+  {
+    std::lock_guard lock(mu_);
+    poked_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RtSlave::cancel(BlockId block) {
+  std::lock_guard lock(mu_);
+  if (active_block_ == block) {
+    active_cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->block == block) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+double RtSlave::sec_per_byte() const {
+  std::lock_guard lock(mu_);
+  return estimator_.per_byte_estimate();
+}
+
+Bytes RtSlave::bound_bytes() const {
+  std::lock_guard lock(mu_);
+  Bytes total = in_flight_bytes_;
+  for (const auto& m : queue_) total += m.size;
+  return total;
+}
+
+std::size_t RtSlave::buffered_count() const {
+  std::lock_guard lock(mu_);
+  return buffers_.size();
+}
+
+Bytes RtSlave::buffered_bytes() const {
+  std::lock_guard lock(mu_);
+  Bytes total = 0;
+  for (const auto& [block, buf] : buffers_) total += static_cast<Bytes>(buf.size());
+  return total;
+}
+
+long RtSlave::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+void RtSlave::worker_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    RtMigration next{};
+    {
+      std::unique_lock lock(mu_);
+      // Refill the local queue from the master while there is space.
+      const int space = options_.queue_capacity - static_cast<int>(queue_.size());
+      if (space > 0) {
+        lock.unlock();
+        auto pulled = pull_(options_.node, space);
+        lock.lock();
+        for (auto& m : pulled) queue_.push_back(m);
+      }
+      if (queue_.empty()) {
+        // Nothing to do: sleep until poked or stopped. Short timeout keeps
+        // the pull loop responsive even if a poke races the wait.
+        poked_ = false;
+        cv_.wait_for(lock, std::chrono::milliseconds(2),
+                     [&] { return poked_ || st.stop_requested(); });
+        continue;
+      }
+      next = queue_.front();
+      queue_.pop_front();
+      in_flight_bytes_ = next.size;
+      active_block_ = next.block;
+      active_cancelled_.store(false, std::memory_order_relaxed);
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    const bool finished = disk_.read(next.size, &active_cancelled_);
+    const double duration_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+
+    if (!finished) {
+      // Missed read: discard the partial migration, learn nothing from it.
+      std::lock_guard lock(mu_);
+      in_flight_bytes_ = 0;
+      active_block_ = BlockId::invalid();
+      continue;
+    }
+
+    RtMigrationDone done;
+    done.block = next.block;
+    done.node = options_.node;
+    done.size = next.size;
+    done.duration_s = duration_s;
+    {
+      std::lock_guard lock(mu_);
+      in_flight_bytes_ = 0;
+      active_block_ = BlockId::invalid();
+      estimator_.on_complete(next.size, duration_s);
+      // "Pin" the block: allocate and fill a real buffer.
+      buffers_.emplace(next.block,
+                       std::vector<std::byte>(static_cast<std::size_t>(next.size)));
+      ++completed_;
+    }
+    if (on_complete_) on_complete_(done);
+  }
+}
+
+}  // namespace dyrs::rt

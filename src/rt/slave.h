@@ -1,0 +1,104 @@
+// Real-threaded DYRS slave.
+//
+// One worker thread per slave serializes migrations exactly like the
+// simulated slave: pop the local FIFO queue, read the block from the
+// throttled disk into a freshly allocated pinned buffer, record the
+// duration in the shared MigrationEstimator, report completion. The local
+// queue is bounded; the master refills it through pull requests issued by
+// the worker when the queue runs low — the late-binding protocol of
+// §III-A1 with real threads and condition variables.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "dyrs/estimator.h"
+#include "rt/throttled_disk.h"
+
+namespace dyrs::rt {
+
+struct RtMigration {
+  BlockId block;
+  Bytes size = 0;
+};
+
+struct RtMigrationDone {
+  BlockId block;
+  NodeId node;
+  Bytes size = 0;
+  double duration_s = 0;
+};
+
+class RtSlave {
+ public:
+  struct Options {
+    NodeId node;
+    Rate disk_bandwidth = mib_per_sec(100);
+    int queue_capacity = 2;
+    double ewma_alpha = 0.3;
+    Bytes reference_block = mib(8);
+  };
+
+  /// `on_complete` runs on the slave's worker thread.
+  /// `pull` is invoked (also on the worker thread) whenever there is queue
+  /// space; it should return the migrations the master binds to this slave.
+  RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
+          std::function<std::vector<RtMigration>(NodeId, int)> pull);
+  ~RtSlave();
+  RtSlave(const RtSlave&) = delete;
+  RtSlave& operator=(const RtSlave&) = delete;
+
+  NodeId id() const { return options_.node; }
+  ThrottledDisk& disk() { return disk_; }
+
+  /// Thread-safe: current migration-time estimate in sec/byte.
+  double sec_per_byte() const;
+  /// Bytes bound locally (queued + in flight).
+  Bytes bound_bytes() const;
+
+  /// Wakes the worker to pull for work (e.g. after new pending arrived).
+  void poke();
+
+  /// Cancels a local migration of `block` (missed read): removes it from
+  /// the queue, or interrupts it mid-read if it is the active one.
+  /// Returns true if anything was cancelled. Thread-safe.
+  bool cancel(BlockId block);
+
+  /// Buffered blocks migrated so far (copies real bytes into real memory).
+  std::size_t buffered_count() const;
+  Bytes buffered_bytes() const;
+  long completed() const;
+
+  /// Asks the worker to stop after the current slice and joins it.
+  void stop();
+
+ private:
+  void worker_loop(std::stop_token st);
+
+  Options options_;
+  ThrottledDisk disk_;
+  std::function<void(const RtMigrationDone&)> on_complete_;
+  std::function<std::vector<RtMigration>(NodeId, int)> pull_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<RtMigration> queue_;
+  Bytes in_flight_bytes_ = 0;
+  BlockId active_block_ = BlockId::invalid();
+  std::atomic<bool> active_cancelled_{false};
+  core::MigrationEstimator estimator_;
+  std::unordered_map<BlockId, std::vector<std::byte>> buffers_;
+  long completed_ = 0;
+  bool poked_ = false;
+
+  std::jthread worker_;  // last member: joins before the rest is destroyed
+};
+
+}  // namespace dyrs::rt

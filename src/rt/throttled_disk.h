@@ -1,0 +1,61 @@
+// Token-bucket throttled "disk" for the real-time runtime.
+//
+// The real-time runtime (rt::) runs the DYRS master/slave protocol with
+// actual threads instead of simulated time. Reads block the calling thread
+// for bytes/rate wall-clock time, like a synchronous pread from a device
+// with the given bandwidth. The rate can be changed at any time
+// (interference), affecting reads in progress proportionally: a read
+// re-checks the rate in small slices, so a slowdown mid-read lengthens the
+// remainder, which is exactly the behaviour the overdue-estimate correction
+// reacts to.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dyrs::rt {
+
+class ThrottledDisk {
+ public:
+  /// `bandwidth` in bytes per wall-clock second.
+  explicit ThrottledDisk(Rate bandwidth) : bandwidth_(bandwidth) {
+    DYRS_CHECK(bandwidth > 0);
+  }
+
+  Rate bandwidth() const { return bandwidth_.load(std::memory_order_relaxed); }
+
+  void set_bandwidth(Rate bandwidth) {
+    DYRS_CHECK(bandwidth > 0);
+    bandwidth_.store(bandwidth, std::memory_order_relaxed);
+  }
+
+  /// Blocks the caller for bytes/bandwidth seconds, sliced so mid-read
+  /// bandwidth changes and cancellation take effect promptly.
+  /// Returns false if `cancelled` became true before the read finished.
+  bool read(Bytes bytes, const std::atomic<bool>* cancelled = nullptr) {
+    DYRS_CHECK(bytes > 0);
+    double remaining = static_cast<double>(bytes);
+    while (remaining > 0) {
+      if (cancelled && cancelled->load(std::memory_order_relaxed)) return false;
+      const double rate = bandwidth_.load(std::memory_order_relaxed);
+      // Slice: at most 1ms of work per sleep so rate changes bite quickly.
+      const double slice_bytes = std::min(remaining, rate / 1000.0);
+      const auto slice_us =
+          std::chrono::microseconds(static_cast<std::int64_t>(slice_bytes / rate * 1e6) + 1);
+      std::this_thread::sleep_for(slice_us);
+      remaining -= slice_bytes;
+    }
+    return true;
+  }
+
+ private:
+  std::atomic<Rate> bandwidth_;
+};
+
+}  // namespace dyrs::rt

@@ -1,0 +1,132 @@
+#include "workloads/google_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace dyrs::wl {
+
+GoogleTrace GoogleTrace::generate(const GoogleTraceConfig& config) {
+  DYRS_CHECK(config.num_servers > 0 && config.duration > 0);
+  GoogleTrace trace;
+  trace.config_ = config;
+  Rng rng(config.seed);
+
+  // Per-node business factor: lognormal with unit mean (exp(-s^2/2) shift),
+  // scaled so the population mean utilization hits the target.
+  const double sigma = config.node_sigma;
+  const double mean_io_fraction =
+      (config.task_io_fraction_min + config.task_io_fraction_max) / 2.0;
+  for (int server = 0; server < config.num_servers; ++server) {
+    const double business =
+        rng.lognormal(-sigma * sigma / 2.0, sigma) * config.mean_utilization;
+    // Arrival rate lambda so that E[active tasks]*E[io_fraction] = business:
+    // E[active] = lambda * mean_duration (Little's law).
+    const double lambda =
+        business / (mean_io_fraction * config.mean_task_duration_s);
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+
+    // Thinned nonhomogeneous Poisson arrivals with diurnal modulation.
+    const double lambda_max = lambda * (1.0 + config.diurnal_depth);
+    if (lambda_max <= 0.0) continue;
+    double t_s = 0.0;
+    const double horizon_s = to_seconds(config.duration);
+    while (true) {
+      t_s += rng.exponential(1.0 / lambda_max);
+      if (t_s >= horizon_s) break;
+      const double modulation =
+          (1.0 + config.diurnal_depth *
+                     std::sin(2.0 * M_PI * t_s / (24.0 * 3600.0) + phase)) /
+          (1.0 + config.diurnal_depth);
+      if (!rng.bernoulli(modulation)) continue;
+      TraceTask task;
+      task.server = server;
+      task.start = seconds(t_s);
+      task.end = task.start +
+                 seconds(std::max(1.0, rng.exponential(config.mean_task_duration_s)));
+      task.io_fraction =
+          rng.uniform(config.task_io_fraction_min, config.task_io_fraction_max);
+      trace.tasks_.push_back(task);
+    }
+  }
+  std::sort(trace.tasks_.begin(), trace.tasks_.end(),
+            [](const TraceTask& a, const TraceTask& b) { return a.start < b.start; });
+
+  trace.jobs_.reserve(static_cast<std::size_t>(config.num_jobs));
+  for (int i = 0; i < config.num_jobs; ++i) {
+    TraceJob job;
+    job.lead_time_s = rng.exponential(config.mean_lead_time_s);
+    job.read_time_s = rng.exponential(config.mean_read_time_s);
+    trace.jobs_.push_back(job);
+  }
+  return trace;
+}
+
+TimeSeries GoogleTrace::utilization_series(int server) const {
+  DYRS_CHECK(server >= 0 && server < config_.num_servers);
+  // Sweep task start/end edges accumulating the IO-fraction sum.
+  std::map<SimTime, double> deltas;
+  for (const auto& task : tasks_) {
+    if (task.server != server) continue;
+    deltas[task.start] += task.io_fraction;
+    deltas[task.end] -= task.io_fraction;
+  }
+  TimeSeries series("util-" + std::to_string(server));
+  double level = 0.0;
+  for (const auto& [t, d] : deltas) {
+    level += d;
+    series.record(t, std::clamp(level, 0.0, 1.0));
+  }
+  return series;
+}
+
+std::vector<TimePoint> GoogleTrace::node_utilization(int server, SimDuration bucket) const {
+  return utilization_series(server).bucket_average(0, config_.duration, bucket);
+}
+
+SampleSet GoogleTrace::utilization_samples(SimDuration bucket) const {
+  SampleSet samples;
+  for (int server = 0; server < config_.num_servers; ++server) {
+    for (const auto& point : node_utilization(server, bucket)) {
+      samples.add(point.value);
+    }
+  }
+  return samples;
+}
+
+double GoogleTrace::mean_utilization() const {
+  double sum = 0.0;
+  for (int server = 0; server < config_.num_servers; ++server) {
+    sum += utilization_series(server).step_mean(0, config_.duration);
+  }
+  return sum / static_cast<double>(config_.num_servers);
+}
+
+SampleSet GoogleTrace::lead_to_read_ratios() const {
+  SampleSet samples;
+  for (const auto& job : jobs_) {
+    if (job.read_time_s <= 0.0) continue;
+    samples.add(job.lead_time_s / job.read_time_s);
+  }
+  return samples;
+}
+
+double GoogleTrace::fraction_with_sufficient_lead_time() const {
+  if (jobs_.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto& job : jobs_) {
+    if (job.lead_time_s >= job.read_time_s) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(jobs_.size());
+}
+
+double GoogleTrace::mean_lead_time_s() const {
+  if (jobs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& job : jobs_) sum += job.lead_time_s;
+  return sum / static_cast<double>(jobs_.size());
+}
+
+}  // namespace dyrs::wl

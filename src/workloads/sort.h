@@ -1,0 +1,39 @@
+// The Sort application (paper §V-B3, §V-F).
+//
+// Sort is the classic shuffle-heavy MapReduce job: maps read and partition
+// the input (selectivity 1.0 — nothing is filtered), the full dataset is
+// shuffled, and reducers write a same-sized sorted output. The paper uses
+// Sort to study adaptivity (Fig 8/9, Table II), straggler avoidance
+// (Fig 10), and the input-size × lead-time tradeoff (Fig 11).
+#pragma once
+
+#include <string>
+
+#include "exec/job.h"
+
+namespace dyrs::wl {
+
+struct SortConfig {
+  Bytes input = gib(10);
+  /// Artificial lead-time inserted before tasks become runnable (Fig 11).
+  SimDuration extra_lead_time = 0;
+  int reducers = 14;
+  SimDuration platform_overhead = seconds(5);
+};
+
+/// Builds the sort job's spec over an already-loaded input file.
+inline exec::JobSpec sort_job(const std::string& input_file, const SortConfig& config) {
+  exec::JobSpec spec;
+  spec.name = "sort";
+  spec.input_files = {input_file};
+  spec.selectivity = 1.0;        // sort keeps every byte
+  spec.num_reducers = config.reducers;
+  spec.platform_overhead = config.platform_overhead;
+  spec.extra_lead_time = config.extra_lead_time;
+  // Sorting is more compute-heavy per byte than a scan-filter map.
+  spec.map_compute_rate = mib_per_sec(500);
+  spec.reduce_compute_rate = mib_per_sec(500);
+  return spec;
+}
+
+}  // namespace dyrs::wl

@@ -1,0 +1,71 @@
+// SWIM-style trace workload (paper §V-B2).
+//
+// SWIM replays jobs sized (input/shuffle/output) from a Facebook production
+// trace. The actual trace files are not available offline, so this
+// generator reproduces the properties the paper states: 200 jobs, ~170GB
+// cumulative input, heavy-tailed sizes (85% of jobs read under 64MB, the
+// largest reads ~24GB), and inter-arrival times compressed by 75% so jobs
+// overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "exec/job.h"
+#include "exec/testbed.h"
+
+namespace dyrs::wl {
+
+struct SwimConfig {
+  int num_jobs = 200;
+  Bytes total_input = gib(170);
+  double small_job_fraction = 0.85;  // jobs reading < small_threshold
+  Bytes small_threshold = mib(64);
+  Bytes max_input = gib(24);
+  double pareto_alpha = 1.1;  // tail shape for large jobs
+  /// Original trace inter-arrival mean, before compression.
+  double mean_interarrival_s = 40.0;
+  /// Paper reduces inter-arrival times by 75%.
+  double interarrival_scale = 0.25;
+  std::uint64_t seed = 5;
+};
+
+struct SwimJob {
+  std::string name;
+  std::string file;      // input file backing this job
+  Bytes input = 0;
+  Bytes shuffle = 0;
+  Bytes output = 0;
+  SimTime submit_at = 0;
+  int reducers = 0;      // 0 = map-only job
+};
+
+class SwimWorkload {
+ public:
+  static SwimWorkload generate(const SwimConfig& config);
+
+  const std::vector<SwimJob>& jobs() const { return jobs_; }
+  Bytes total_input() const;
+  SimTime last_submission() const;
+
+  /// Creates the input files in `testbed` and schedules every job.
+  /// `base` supplies the compute-model knobs; per-job sizes override
+  /// input/shuffle/output. Submission times are shifted by `offset`
+  /// (useful when the testbed has already simulated warm-up time).
+  /// Returns ids in submission order.
+  std::vector<JobId> install(exec::Testbed& testbed, const exec::JobSpec& base,
+                             SimTime offset = 0) const;
+
+  /// The paper's size bins (Fig 5): small < 64MB, medium < 1GB, large >= 1GB.
+  enum class SizeBin { Small, Medium, Large };
+  static SizeBin bin_of(Bytes input);
+  static const char* bin_name(SizeBin bin);
+
+ private:
+  SwimConfig config_;
+  std::vector<SwimJob> jobs_;
+};
+
+}  // namespace dyrs::wl

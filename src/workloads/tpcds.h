@@ -1,0 +1,86 @@
+// Hive / TPC-DS query model (paper §V-B1).
+//
+// Hive compiles a query and submits a sequence of MapReduce jobs. The ten
+// HiveQL-translated TPC-DS queries the paper runs are modeled by their
+// externally visible shape: the table bytes the first stage scans, the
+// selectivity of each stage (TPC-DS queries filter/aggregate aggressively,
+// which is why the map stage dominates — 97% of runtime in the paper's
+// measurement), and the number of stages. Exact query semantics are
+// irrelevant to DYRS; only the data volumes and timing matter.
+//
+// The migration hook runs right after compilation (the paper inserts it
+// via Hive's lifecycle hooks) and covers only the stage-1 table inputs —
+// intermediate stage outputs are freshly written and not migrated.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/testbed.h"
+
+namespace dyrs::wl {
+
+struct QueryStage {
+  double selectivity = 0.1;  // stage output / stage input
+  int reducers = 4;
+};
+
+struct HiveQuery {
+  std::string name;        // e.g. "q15"
+  std::string table;       // input table path
+  Bytes table_size = 0;    // bytes stage 1 scans
+  std::vector<QueryStage> stages;
+  SimDuration compile_time = milliseconds(1500);
+};
+
+/// The ten-query suite. `scale` multiplies every table size (1.0 gives a
+/// 2–26GB spread suited to a 7-node simulated cluster).
+std::vector<HiveQuery> tpcds_queries(double scale = 1.0);
+
+struct QueryResult {
+  std::string name;
+  Bytes input_size = 0;
+  SimTime submitted = 0;
+  SimTime finished = 0;
+  double duration_s() const { return to_seconds(finished - submitted); }
+};
+
+/// Runs one query on a testbed: compile delay, migration call, then the
+/// stage chain (stage k+1 consumes stage k's output file). The testbed's
+/// table file must already exist (see ensure_table). `done` fires when the
+/// last stage completes.
+class QueryRunner {
+ public:
+  explicit QueryRunner(exec::Testbed& testbed);
+
+  /// Creates the query's table file if this testbed doesn't have it yet.
+  void ensure_table(const HiveQuery& query);
+
+  /// Starts the query now. Only one query may be in flight per runner.
+  void run(const HiveQuery& query, std::function<void(const QueryResult&)> done);
+
+  /// Convenience: run a whole suite sequentially (each query starts when
+  /// the previous finished) and block until done. Returns results in order.
+  static std::vector<QueryResult> run_suite(exec::Testbed& testbed,
+                                            const std::vector<HiveQuery>& queries,
+                                            const exec::JobSpec& base);
+
+  /// Compute-model knobs applied to every stage job.
+  exec::JobSpec base_spec;
+
+ private:
+  void submit_stage(std::size_t index);
+
+  exec::Testbed& testbed_;
+  HiveQuery query_;
+  QueryResult result_;
+  std::function<void(const QueryResult&)> done_;
+  std::function<void()> stage_done_;
+  std::size_t current_stage_ = 0;
+  std::string stage_input_;
+  Bytes stage_input_size_ = 0;
+  int sequence_ = 0;  // uniquifies intermediate file names across queries
+};
+
+}  // namespace dyrs::wl

@@ -1,0 +1,111 @@
+#include "workloads/trace_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace dyrs::wl {
+
+namespace {
+
+std::int64_t parse_int(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    DYRS_CHECK_MSG(pos == s.size(), "trailing junk in " << what << ": '" << s << "'");
+    return v;
+  } catch (const std::logic_error&) {
+    throw CheckError(std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  out.push_back(std::move(cell));
+  return out;
+}
+
+void write_swim_csv(const std::vector<SwimJob>& jobs, std::ostream& os) {
+  os << "name,file,input,shuffle,output,submit_us,reducers\n";
+  for (const auto& job : jobs) {
+    os << job.name << ',' << job.file << ',' << job.input << ',' << job.shuffle << ','
+       << job.output << ',' << job.submit_at << ',' << job.reducers << '\n';
+  }
+}
+
+std::vector<SwimJob> read_swim_csv(std::istream& is) {
+  std::vector<SwimJob> jobs;
+  std::string line;
+  bool header = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      DYRS_CHECK_MSG(line.rfind("name,", 0) == 0, "missing SWIM CSV header");
+      continue;
+    }
+    auto cells = split_csv_line(line);
+    DYRS_CHECK_MSG(cells.size() == 7, "SWIM CSV row needs 7 fields, got " << cells.size());
+    SwimJob job;
+    job.name = cells[0];
+    job.file = cells[1];
+    job.input = parse_int(cells[2], "input");
+    job.shuffle = parse_int(cells[3], "shuffle");
+    job.output = parse_int(cells[4], "output");
+    job.submit_at = parse_int(cells[5], "submit_us");
+    job.reducers = static_cast<int>(parse_int(cells[6], "reducers"));
+    DYRS_CHECK_MSG(job.input > 0, "job input must be positive");
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void write_job_metrics_csv(const exec::Metrics& metrics, std::ostream& os) {
+  os << "name,input,submitted_us,eligible_us,first_task_us,maps_done_us,finished_us,"
+        "duration_s,map_phase_s,lead_time_s,num_maps,num_reduces\n";
+  for (const auto& j : metrics.jobs()) {
+    os << j.name << ',' << j.input_size << ',' << j.submitted << ',' << j.eligible << ','
+       << j.first_task_start << ',' << j.maps_done << ',' << j.finished << ','
+       << j.duration_s() << ',' << j.map_phase_s() << ',' << j.lead_time_s() << ','
+       << j.num_maps << ',' << j.num_reduces << '\n';
+  }
+}
+
+void write_task_metrics_csv(const exec::Metrics& metrics, std::ostream& os) {
+  os << "job,task,phase,node,input,read_s,duration_s,medium\n";
+  for (const auto& t : metrics.tasks()) {
+    os << t.job << ',' << t.id << ','
+       << (t.phase == exec::TaskPhase::Map ? "map" : "reduce") << ',' << t.node << ','
+       << t.input << ',' << t.read_s() << ',' << t.duration_s() << ','
+       << dfs::to_string(t.medium) << '\n';
+  }
+}
+
+}  // namespace dyrs::wl

@@ -1,0 +1,33 @@
+// CSV persistence for workloads and run metrics.
+//
+// Lets users pin down a generated SWIM workload as a file (the same role
+// the original SWIM trace files play), re-load it later, and dump run
+// metrics for external plotting. Formats are plain CSV with a header row.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exec/metrics.h"
+#include "workloads/swim.h"
+
+namespace dyrs::wl {
+
+/// Writes a SWIM workload as CSV: name,file,input,shuffle,output,submit_us,reducers.
+void write_swim_csv(const std::vector<SwimJob>& jobs, std::ostream& os);
+
+/// Parses the CSV written by write_swim_csv. Throws CheckError on
+/// malformed rows (wrong arity or non-numeric fields).
+std::vector<SwimJob> read_swim_csv(std::istream& is);
+
+/// Writes per-job metrics: name,input,submitted_us,finished_us,duration_s,...
+void write_job_metrics_csv(const exec::Metrics& metrics, std::ostream& os);
+
+/// Writes per-task metrics: job,task,phase,node,input,read_s,duration_s,medium.
+void write_task_metrics_csv(const exec::Metrics& metrics, std::ostream& os);
+
+/// Splits one CSV line honoring double-quote escaping.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace dyrs::wl

@@ -1,0 +1,74 @@
+#include "cluster/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace dyrs::cluster {
+namespace {
+
+TEST(Disk, SequentialReadAtNominalBandwidth) {
+  sim::Simulator sim;
+  Disk disk(sim, {.name = "d", .bandwidth = mib_per_sec(160), .seek_alpha = 0.15});
+  SimTime done = -1;
+  disk.start_io(IoClass::MigrationRead, mib(256), [&](SimTime t) { done = t; });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done), 1.6, 1e-3);
+}
+
+TEST(Disk, PerClassAccounting) {
+  sim::Simulator sim;
+  Disk disk(sim, {});
+  disk.start_io(IoClass::MigrationRead, mib(10), nullptr);
+  disk.start_io(IoClass::TaskRead, mib(20), nullptr);
+  disk.start_io(IoClass::TaskRead, mib(30), nullptr);
+  disk.start_io(IoClass::Write, mib(5), nullptr);
+  sim.run();
+  EXPECT_DOUBLE_EQ(disk.bytes_by_class(IoClass::MigrationRead), static_cast<double>(mib(10)));
+  EXPECT_DOUBLE_EQ(disk.bytes_by_class(IoClass::TaskRead), static_cast<double>(mib(50)));
+  EXPECT_DOUBLE_EQ(disk.bytes_by_class(IoClass::Write), static_cast<double>(mib(5)));
+  EXPECT_EQ(disk.ios_by_class(IoClass::TaskRead), 2);
+}
+
+TEST(Disk, InterferenceHalvesMigrationRate) {
+  sim::Simulator sim;
+  Disk disk(sim, {.name = "d", .bandwidth = mib_per_sec(100), .seek_alpha = 0.0});
+  disk.start_interference();
+  SimTime done = -1;
+  disk.start_io(IoClass::MigrationRead, mib(100), [&](SimTime t) { done = t; });
+  sim.run_until(seconds(30));
+  EXPECT_NEAR(to_seconds(done), 2.0, 1e-3);
+}
+
+TEST(Disk, UnloadedReadTimeMatchesBandwidth) {
+  sim::Simulator sim;
+  Disk disk(sim, {.name = "d", .bandwidth = mib_per_sec(128), .seek_alpha = 0.15});
+  EXPECT_NEAR(to_seconds(disk.unloaded_read_time(mib(256))), 2.0, 1e-6);
+}
+
+TEST(Disk, CancelInFlightIo) {
+  sim::Simulator sim;
+  Disk disk(sim, {});
+  bool fired = false;
+  auto id = disk.start_io(IoClass::MigrationRead, mib(512), [&](SimTime) { fired = true; });
+  EXPECT_TRUE(disk.in_flight(id));
+  sim.run_until(seconds(1));
+  disk.cancel(id);
+  EXPECT_FALSE(disk.in_flight(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Disk, SetBandwidthModelsDegradedDrive) {
+  sim::Simulator sim;
+  Disk disk(sim, {.name = "d", .bandwidth = mib_per_sec(100), .seek_alpha = 0.0});
+  disk.set_bandwidth(mib_per_sec(25));
+  SimTime done = -1;
+  disk.start_io(IoClass::TaskRead, mib(50), [&](SimTime t) { done = t; });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done), 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace dyrs::cluster

@@ -1,0 +1,84 @@
+#include "common/ewma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dyrs {
+namespace {
+
+TEST(Ewma, FirstSampleSeedsValue) {
+  Ewma e(0.3);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, BlendsWithAlpha) {
+  Ewma e(0.5);
+  e.add(10.0);
+  e.add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.add(15.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+}
+
+TEST(Ewma, ValueOrFallback) {
+  Ewma e(0.3);
+  EXPECT_DOUBLE_EQ(e.value_or(7.0), 7.0);
+  e.add(3.0);
+  EXPECT_DOUBLE_EQ(e.value_or(7.0), 3.0);
+}
+
+TEST(Ewma, ForceOverridesWithoutCounting) {
+  Ewma e(0.3);
+  e.add(10.0);
+  EXPECT_EQ(e.sample_count(), 1);
+  e.force(99.0);
+  EXPECT_DOUBLE_EQ(e.value(), 99.0);
+  EXPECT_EQ(e.sample_count(), 1);
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e(0.3);
+  e.add(10.0);
+  e.reset();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.sample_count(), 0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), CheckError);
+  EXPECT_THROW(Ewma(1.5), CheckError);
+  EXPECT_NO_THROW(Ewma(1.0));
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.add(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+// Property: higher alpha tracks a step change faster.
+class EwmaAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwmaAlphaTest, StepResponseWithinBounds) {
+  const double alpha = GetParam();
+  Ewma e(alpha);
+  e.add(0.0);
+  for (int i = 0; i < 10; ++i) e.add(100.0);
+  // After k samples of value v from 0, value = v * (1 - (1-a)^k).
+  const double expected = 100.0 * (1.0 - std::pow(1.0 - alpha, 10));
+  EXPECT_NEAR(e.value(), expected, 1e-9);
+  EXPECT_GT(e.value(), 0.0);
+  EXPECT_LE(e.value(), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EwmaAlphaTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace dyrs

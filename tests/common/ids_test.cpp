@@ -1,0 +1,53 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace dyrs {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  BlockId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, BlockId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  NodeId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7);
+}
+
+TEST(StrongId, Comparisons) {
+  EXPECT_EQ(JobId(3), JobId(3));
+  EXPECT_NE(JobId(3), JobId(4));
+  EXPECT_LT(JobId(3), JobId(4));
+  EXPECT_GT(JobId(5), JobId(4));
+  EXPECT_LE(JobId(4), JobId(4));
+  EXPECT_GE(JobId(4), JobId(4));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<BlockId, NodeId>);
+  static_assert(!std::is_convertible_v<BlockId, NodeId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<TaskId> set;
+  set.insert(TaskId(1));
+  set.insert(TaskId(2));
+  set.insert(TaskId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, Streamable) {
+  std::ostringstream os;
+  os << FileId(42);
+  EXPECT_EQ(os.str(), "42");
+}
+
+}  // namespace
+}  // namespace dyrs

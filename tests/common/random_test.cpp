@@ -1,0 +1,100 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace dyrs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, BoundedParetoWithinBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 1.0, 1000.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // Most mass near the lower bound — the property the SWIM size
+  // distribution relies on (85% of jobs are small).
+  Rng rng(17);
+  int small = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bounded_pareto(1.4, 1.0, 400.0) < 10.0) ++small;
+  }
+  EXPECT_GT(small, n * 7 / 10);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1] * 2);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // Child's stream should not equal the parent's subsequent stream.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.uniform_int(0, 1 << 30) == child.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, InvalidArgsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), CheckError);
+  EXPECT_THROW(rng.exponential(0.0), CheckError);
+  EXPECT_THROW(rng.bounded_pareto(0.0, 1.0, 2.0), CheckError);
+  EXPECT_THROW(rng.bounded_pareto(1.0, 2.0, 1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace dyrs

@@ -1,0 +1,103 @@
+#include "common/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dyrs {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 57; ++i) s.add(static_cast<double>((i * 37) % 101));
+  auto pts = s.cdf_points(11);
+  ASSERT_EQ(pts.size(), 11u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(SampleSet, HistogramCountsAndBounds) {
+  SampleSet s;
+  for (int i = 0; i < 10; ++i) s.add(static_cast<double>(i));  // 0..9
+  auto h = s.histogram(0.0, 10.0, 5);
+  ASSERT_EQ(h.size(), 5u);
+  for (auto c : h) EXPECT_EQ(c, 2u);
+  // Out-of-range samples are dropped.
+  s.add(-1.0);
+  s.add(10.0);
+  auto h2 = s.histogram(0.0, 10.0, 5);
+  std::size_t total = 0;
+  for (auto c : h2) total += c;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(SampleSet, QuantileOnEmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), CheckError);
+}
+
+TEST(SampleSet, MeanMatchesRunningStat) {
+  SampleSet set;
+  RunningStat rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::sin(static_cast<double>(i)) * 10.0 + 20.0;
+    set.add(v);
+    rs.add(v);
+  }
+  EXPECT_NEAR(set.mean(), rs.mean(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dyrs

@@ -1,0 +1,52 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dyrs {
+namespace {
+
+TEST(TextTable, AlignedOutputContainsCells) {
+  TextTable t({"config", "duration (s)", "speedup"});
+  t.add_row({"HDFS", "31.5", ""});
+  t.add_row({"DYRS", "20.9", "33%"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("HDFS"), std::string::npos);
+  EXPECT_NE(out.find("20.9"), std::string::npos);
+  EXPECT_NE(out.find("33%"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(10.0, 0), "10");
+  EXPECT_EQ(TextTable::percent(0.336, 0), "34%");
+  EXPECT_EQ(TextTable::percent(-1.11, 0), "-111%");
+}
+
+TEST(AsciiBar, ScalesAndClamps) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 4), "####");
+  EXPECT_EQ(ascii_bar(-1.0, 10.0, 4), "    ");
+}
+
+}  // namespace
+}  // namespace dyrs

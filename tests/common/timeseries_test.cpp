@@ -1,0 +1,74 @@
+#include "common/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace dyrs {
+namespace {
+
+TEST(TimeSeries, StepValueAt) {
+  TimeSeries ts("x");
+  ts.record(seconds(1), 10.0);
+  ts.record(seconds(3), 20.0);
+  EXPECT_DOUBLE_EQ(ts.step_value_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.step_value_at(seconds(1)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.step_value_at(seconds(2)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.step_value_at(seconds(3)), 20.0);
+  EXPECT_DOUBLE_EQ(ts.step_value_at(seconds(100)), 20.0);
+}
+
+TEST(TimeSeries, StepValueBeforeFirstUsesFallback) {
+  TimeSeries ts;
+  ts.record(seconds(5), 1.0);
+  EXPECT_DOUBLE_EQ(ts.step_value_at(seconds(1), 42.0), 42.0);
+}
+
+TEST(TimeSeries, StepMeanWeightsByDuration) {
+  TimeSeries ts;
+  ts.record(0, 0.0);
+  ts.record(seconds(1), 10.0);  // value 10 on [1s, 3s)
+  // Over [0, 3s): 1s of 0 + 2s of 10 = mean 20/3.
+  EXPECT_NEAR(ts.step_mean(0, seconds(3)), 20.0 / 3.0, 1e-9);
+}
+
+TEST(TimeSeries, StepMeanWithinConstantRegion) {
+  TimeSeries ts;
+  ts.record(0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.step_mean(seconds(10), seconds(20)), 5.0);
+}
+
+TEST(TimeSeries, StepMax) {
+  TimeSeries ts;
+  ts.record(0, 1.0);
+  ts.record(seconds(2), 9.0);
+  ts.record(seconds(4), 3.0);
+  EXPECT_DOUBLE_EQ(ts.step_max(0, seconds(10)), 9.0);
+  // Window that excludes the 9.0 point but starts inside its region.
+  EXPECT_DOUBLE_EQ(ts.step_max(seconds(3), seconds(10)), 9.0);
+  EXPECT_DOUBLE_EQ(ts.step_max(seconds(4), seconds(10)), 3.0);
+}
+
+TEST(TimeSeries, BucketAverageMatchesPaperGranularity) {
+  // Utilization 1.0 for the first half of each 10-minute span, 0 after:
+  // 5-minute buckets alternate 1.0 / 0.0.
+  TimeSeries ts;
+  for (int i = 0; i < 6; ++i) {
+    ts.record(minutes(10 * i), 1.0);
+    ts.record(minutes(10 * i + 5), 0.0);
+  }
+  auto buckets = ts.bucket_average(0, minutes(60), minutes(5));
+  ASSERT_EQ(buckets.size(), 12u);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_NEAR(buckets[i].value, (i % 2 == 0) ? 1.0 : 0.0, 1e-9) << "bucket " << i;
+  }
+}
+
+TEST(TimeSeries, EmptySeriesMeansFallback) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.step_mean(0, seconds(1), 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.step_max(0, seconds(1), 3.0), 3.0);
+}
+
+}  // namespace
+}  // namespace dyrs

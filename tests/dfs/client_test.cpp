@@ -1,0 +1,192 @@
+#include "dfs/client.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/fixture.h"
+
+namespace dyrs::dfs {
+namespace {
+
+using dyrs::testing::MiniDfs;
+
+// A block read must land on one of its replica holders when nothing is in
+// memory, and the timing must reflect the chosen medium.
+TEST(DFSClient, DiskReadFromReplicaHolder) {
+  MiniDfs t({.num_nodes = 5, .disk_bw = mib_per_sec(64), .block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+  const auto locs = t.namenode->block_locations(b);
+
+  ReadInfo result;
+  t.client->read_block(b, locs[0], JobId(1), [&](const ReadInfo& info) { result = info; });
+  t.sim.run_until(seconds(10));
+  EXPECT_EQ(result.medium, ReadMedium::LocalDisk);
+  EXPECT_EQ(result.source, locs[0]);
+  EXPECT_NEAR(to_seconds(result.end - result.start), 1.0, 0.01);
+}
+
+TEST(DFSClient, RemoteDiskReadWhenNoLocalReplica) {
+  MiniDfs t({.num_nodes = 5, .replication = 3, .block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+  const auto locs = t.namenode->block_locations(b);
+  // Find a node that is NOT a replica holder.
+  NodeId outsider = NodeId::invalid();
+  for (NodeId n : t.cluster->node_ids()) {
+    if (std::find(locs.begin(), locs.end(), n) == locs.end()) outsider = n;
+  }
+  ASSERT_TRUE(outsider.valid());
+
+  ReadInfo result;
+  t.client->read_block(b, outsider, JobId(1), [&](const ReadInfo& info) { result = info; });
+  t.sim.run_until(seconds(10));
+  EXPECT_EQ(result.medium, ReadMedium::RemoteDisk);
+  EXPECT_NE(result.source, outsider);
+  EXPECT_TRUE(std::find(locs.begin(), locs.end(), result.source) != locs.end());
+}
+
+TEST(DFSClient, MemoryReplicaPreferredOverLocalDisk) {
+  MiniDfs t({.num_nodes = 5, .block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+  const auto locs = t.namenode->block_locations(b);
+  // Register an in-memory replica on a *different* node than the reader.
+  const NodeId reader = locs[0];
+  const NodeId holder = locs[1];
+  t.namenode->register_memory_replica(b, holder);
+
+  ReadInfo result;
+  t.client->read_block(b, reader, JobId(1), [&](const ReadInfo& info) { result = info; });
+  t.sim.run_until(seconds(10));
+  EXPECT_EQ(result.medium, ReadMedium::RemoteMemory);
+  EXPECT_EQ(result.source, holder);
+  // 64MiB over a 10GbE NIC ≈ 54ms — far faster than the 1s disk read.
+  EXPECT_LT(to_seconds(result.end - result.start), 0.1);
+}
+
+TEST(DFSClient, LocalMemoryFastest) {
+  MiniDfs t({.num_nodes = 5, .block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+  const NodeId reader = t.namenode->block_locations(b)[0];
+  t.namenode->register_memory_replica(b, reader);
+
+  ReadInfo result;
+  t.client->read_block(b, reader, JobId(1), [&](const ReadInfo& info) { result = info; });
+  t.sim.run_until(seconds(10));
+  EXPECT_EQ(result.medium, ReadMedium::LocalMemory);
+  EXPECT_LT(to_seconds(result.end - result.start), 0.01);
+}
+
+TEST(DFSClient, MemoryReadSpeedupMatchesPaperScale) {
+  // Paper §I: block reads from RAM were ~160x faster than disk.
+  MiniDfs t({.num_nodes = 5, .disk_bw = mib_per_sec(160), .block_size = mib(256)});
+  const auto& f = t.namenode->create_file("/in", mib(512));
+  const BlockId disk_block = f.blocks[0];
+  const BlockId ram_block = f.blocks[1];
+  const NodeId reader0 = t.namenode->block_locations(disk_block)[0];
+  const NodeId reader1 = t.namenode->block_locations(ram_block)[0];
+  t.namenode->register_memory_replica(ram_block, reader1);
+
+  SimDuration disk_time = 0, ram_time = 0;
+  t.client->read_block(disk_block, reader0, JobId(1),
+                       [&](const ReadInfo& i) { disk_time = i.end - i.start; });
+  t.client->read_block(ram_block, reader1, JobId(1),
+                       [&](const ReadInfo& i) { ram_time = i.end - i.start; });
+  t.sim.run_until(seconds(30));
+  ASSERT_GT(disk_time, 0);
+  ASSERT_GT(ram_time, 0);
+  const double speedup = static_cast<double>(disk_time) / static_cast<double>(ram_time);
+  EXPECT_NEAR(speedup, 160.0, 10.0);
+}
+
+TEST(DFSClient, FailsOverToAliveReplica) {
+  MiniDfs t({.num_nodes = 4, .replication = 2, .block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+  auto locs = t.namenode->block_locations(b);
+  ASSERT_EQ(locs.size(), 2u);
+  // Kill one replica holder and wait for detection.
+  t.cluster->node(locs[0]).set_alive(false);
+  t.sim.run_until(seconds(15));
+
+  ReadInfo result;
+  t.client->read_block(b, locs[0], JobId(1), [&](const ReadInfo& info) { result = info; });
+  t.sim.run_until(seconds(40));
+  EXPECT_EQ(result.source, locs[1]);
+}
+
+TEST(DFSClient, StaleMemoryReplicaFallsBackToDisk) {
+  // Paper §III-C2: when the server holding the in-memory replica fails,
+  // DYRS only returns choices among available replicas.
+  MiniDfs t({.num_nodes = 4, .replication = 2, .block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+  auto locs = t.namenode->block_locations(b);
+  // Memory replica on a node that then dies.
+  t.namenode->register_memory_replica(b, locs[0]);
+  t.cluster->node(locs[0]).set_alive(false);
+  t.sim.run_until(seconds(15));
+
+  ReadInfo result;
+  t.client->read_block(b, locs[1], JobId(1), [&](const ReadInfo& info) { result = info; });
+  t.sim.run_until(seconds(40));
+  EXPECT_EQ(result.medium, ReadMedium::LocalDisk);
+  EXPECT_EQ(result.source, locs[1]);
+}
+
+TEST(DFSClient, NoReplicaAnywhereThrows) {
+  MiniDfs t({.num_nodes = 2, .replication = 2, .block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+  t.cluster->node(NodeId(0)).set_alive(false);
+  t.cluster->node(NodeId(1)).set_alive(false);
+  t.sim.run_until(seconds(15));
+  EXPECT_THROW(t.client->read_block(b, NodeId(0), JobId(1), nullptr), CheckError);
+}
+
+TEST(DFSClient, ReadHooksFireInOrder) {
+  MiniDfs t({.block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(64));
+  const BlockId b = f.blocks[0];
+
+  struct Recorder : ReadHooks {
+    std::vector<std::string> events;
+    void on_read_started(BlockId block, JobId job) override {
+      events.push_back("start:" + std::to_string(block.value()) + ":" +
+                       std::to_string(job.value()));
+    }
+    void on_read_completed(BlockId block, JobId, const ReadInfo& info) override {
+      events.push_back("done:" + std::to_string(block.value()) + ":" +
+                       to_string(info.medium));
+    }
+  } recorder;
+  t.client->set_read_hooks(&recorder);
+
+  t.client->read_block(b, t.namenode->block_locations(b)[0], JobId(9), nullptr);
+  t.sim.run_until(seconds(10));
+  ASSERT_EQ(recorder.events.size(), 2u);
+  EXPECT_EQ(recorder.events[0], "start:0:9");
+  EXPECT_EQ(recorder.events[1], std::string("done:0:local-disk"));
+}
+
+TEST(DFSClient, ServedCountersTrackSources) {
+  MiniDfs t({.block_size = mib(64)});
+  const auto& f = t.namenode->create_file("/in", mib(128));
+  int done = 0;
+  for (BlockId b : f.blocks) {
+    const NodeId reader = t.namenode->block_locations(b)[0];
+    t.client->read_block(b, reader, JobId(1), [&](const ReadInfo&) { ++done; });
+  }
+  t.sim.run_until(seconds(30));
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(t.client->total_reads(), 2);
+  long sum = 0;
+  for (NodeId n : t.cluster->node_ids()) sum += t.client->reads_served(n);
+  EXPECT_EQ(sum, 2);
+}
+
+}  // namespace
+}  // namespace dyrs::dfs

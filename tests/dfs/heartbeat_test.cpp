@@ -1,0 +1,60 @@
+// Heartbeat/liveness edge cases.
+#include <gtest/gtest.h>
+
+#include "testing/fixture.h"
+
+namespace dyrs::dfs {
+namespace {
+
+using dyrs::testing::MiniDfs;
+
+TEST(Heartbeat, ProcessCrashStopsHeartbeats) {
+  MiniDfs t;
+  t.sim.run_until(seconds(5));
+  t.datanodes[1]->crash_process();
+  // Process down => no heartbeats => marked unavailable after the miss
+  // limit even though the server itself is up.
+  t.sim.run_until(seconds(5) + seconds(1) * 3 + seconds(2));
+  EXPECT_FALSE(t.namenode->available(NodeId(1)));
+  EXPECT_TRUE(t.cluster->node(NodeId(1)).alive());
+}
+
+TEST(Heartbeat, RestartRestoresAvailability) {
+  MiniDfs t;
+  t.datanodes[1]->crash_process();
+  t.sim.run_until(seconds(10));
+  ASSERT_FALSE(t.namenode->available(NodeId(1)));
+  t.datanodes[1]->restart_process();
+  t.sim.run_until(seconds(12));
+  EXPECT_TRUE(t.namenode->available(NodeId(1)));
+}
+
+TEST(Heartbeat, FreshRegistrationCountsAsAlive) {
+  // A node that just registered is available before its first heartbeat;
+  // otherwise file creation at t=0 would find no candidates.
+  MiniDfs t;
+  for (NodeId id : t.cluster->node_ids()) {
+    EXPECT_TRUE(t.namenode->available(id));
+  }
+}
+
+TEST(Heartbeat, UnregisteredNodeIsUnavailable) {
+  MiniDfs t;
+  EXPECT_FALSE(t.namenode->available(NodeId(99)));
+}
+
+TEST(Heartbeat, BoundaryExactlyAtMissLimit) {
+  // Silence of exactly interval*limit is still available; one more beat of
+  // silence is not.
+  MiniDfs t;  // interval 1s, limit 3
+  t.sim.run_until(seconds(2));
+  t.cluster->node(NodeId(0)).set_alive(false);
+  // Last heartbeat was at t=2; available through t=5, dead after.
+  t.sim.run_until(seconds(5));
+  EXPECT_TRUE(t.namenode->available(NodeId(0)));
+  t.sim.run_until(seconds(5) + milliseconds(1001));
+  EXPECT_FALSE(t.namenode->available(NodeId(0)));
+}
+
+}  // namespace
+}  // namespace dyrs::dfs

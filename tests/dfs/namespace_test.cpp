@@ -1,0 +1,110 @@
+#include "dfs/namespace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace dyrs::dfs {
+namespace {
+
+TEST(Namespace, CreateFileSplitsIntoBlocks) {
+  Namespace ns(mib(64));
+  const auto& f = ns.create_file("/data/input", mib(200));
+  EXPECT_EQ(f.blocks.size(), 4u);  // 64+64+64+8
+  EXPECT_EQ(ns.block(f.blocks[0]).size, mib(64));
+  EXPECT_EQ(ns.block(f.blocks[3]).size, mib(8));
+  EXPECT_EQ(ns.block(f.blocks[2]).file, f.id);
+}
+
+TEST(Namespace, ExactMultipleHasNoShortBlock) {
+  Namespace ns(mib(64));
+  const auto& f = ns.create_file("/x", mib(128));
+  ASSERT_EQ(f.blocks.size(), 2u);
+  EXPECT_EQ(ns.block(f.blocks[1]).size, mib(64));
+}
+
+TEST(Namespace, TinyFileIsOneBlock) {
+  Namespace ns(mib(64));
+  const auto& f = ns.create_file("/tiny", 1);
+  ASSERT_EQ(f.blocks.size(), 1u);
+  EXPECT_EQ(ns.block(f.blocks[0]).size, 1);
+}
+
+TEST(Namespace, LookupByNameAndId) {
+  Namespace ns(mib(64));
+  const auto& f = ns.create_file("/a", mib(64));
+  EXPECT_TRUE(ns.exists("/a"));
+  EXPECT_FALSE(ns.exists("/b"));
+  EXPECT_EQ(ns.file("/a").id, f.id);
+  EXPECT_EQ(ns.file(f.id).name, "/a");
+}
+
+TEST(Namespace, DuplicateNameThrows) {
+  Namespace ns;
+  ns.create_file("/a", mib(1));
+  EXPECT_THROW(ns.create_file("/a", mib(1)), CheckError);
+}
+
+TEST(Namespace, EmptyFileThrows) {
+  Namespace ns;
+  EXPECT_THROW(ns.create_file("/empty", 0), CheckError);
+}
+
+TEST(Namespace, UnknownLookupsThrow) {
+  Namespace ns;
+  EXPECT_THROW(ns.file("/nope"), CheckError);
+  EXPECT_THROW(ns.file(FileId(0)), CheckError);
+  EXPECT_THROW(ns.block(BlockId(0)), CheckError);
+}
+
+TEST(Namespace, BlocksOfFlattensInOrder) {
+  Namespace ns(mib(64));
+  ns.create_file("/a", mib(128));  // blocks 0,1
+  ns.create_file("/b", mib(64));   // block 2
+  auto blocks = ns.blocks_of({"/b", "/a"});
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], BlockId(2));
+  EXPECT_EQ(blocks[1], BlockId(0));
+  EXPECT_EQ(blocks[2], BlockId(1));
+}
+
+TEST(Namespace, BlockIdsGloballyUnique) {
+  Namespace ns(mib(64));
+  ns.create_file("/a", mib(640));
+  ns.create_file("/b", mib(640));
+  EXPECT_EQ(ns.block_count(), 20u);
+  EXPECT_EQ(ns.file("/b").blocks.front(), BlockId(10));
+}
+
+// Property sweep: block count always ceil(size / block_size) and sizes sum
+// back to the file size.
+class NamespaceSplitTest : public ::testing::TestWithParam<std::pair<Bytes, Bytes>> {};
+
+TEST_P(NamespaceSplitTest, BlockSizesSumToFileSize) {
+  const auto [block_size, file_size] = GetParam();
+  Namespace ns(block_size);
+  const auto& f = ns.create_file("/f", file_size);
+  const auto expected_blocks =
+      static_cast<std::size_t>((file_size + block_size - 1) / block_size);
+  EXPECT_EQ(f.blocks.size(), expected_blocks);
+  Bytes total = 0;
+  for (BlockId b : f.blocks) {
+    EXPECT_GT(ns.block(b).size, 0);
+    EXPECT_LE(ns.block(b).size, block_size);
+    total += ns.block(b).size;
+  }
+  EXPECT_EQ(total, file_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NamespaceSplitTest,
+    ::testing::Values(std::pair<Bytes, Bytes>{mib(64), mib(64)},
+                      std::pair<Bytes, Bytes>{mib(64), mib(65)},
+                      std::pair<Bytes, Bytes>{mib(64), mib(63)},
+                      std::pair<Bytes, Bytes>{mib(256), gib(24)},
+                      std::pair<Bytes, Bytes>{mib(256), 1},
+                      std::pair<Bytes, Bytes>{1, 17},
+                      std::pair<Bytes, Bytes>{mib(128), gib(1)}));
+
+}  // namespace
+}  // namespace dyrs::dfs

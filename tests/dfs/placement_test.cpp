@@ -1,0 +1,91 @@
+#include "dfs/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace dyrs::dfs {
+namespace {
+
+std::vector<NodeId> nodes(int n) {
+  std::vector<NodeId> out;
+  for (int i = 0; i < n; ++i) out.push_back(NodeId(i));
+  return out;
+}
+
+TEST(RandomPlacement, PicksDistinctNodes) {
+  RandomPlacement p;
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto picked = p.place(nodes(7), 3, rng);
+    ASSERT_EQ(picked.size(), 3u);
+    std::set<NodeId> uniq(picked.begin(), picked.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(RandomPlacement, FewerCandidatesThanReplicasReturnsAll) {
+  RandomPlacement p;
+  Rng rng(3);
+  auto picked = p.place(nodes(2), 3, rng);
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(RandomPlacement, UniformSpreadOverManyPlacements) {
+  RandomPlacement p;
+  Rng rng(11);
+  std::map<NodeId, int> counts;
+  const int trials = 7000;
+  for (int i = 0; i < trials; ++i) {
+    for (NodeId n : p.place(nodes(7), 3, rng)) ++counts[n];
+  }
+  // Each node expects trials * 3/7 = 3000 placements; allow 10%.
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, 3000, 300) << "node " << node;
+  }
+}
+
+TEST(RandomPlacement, DeterministicGivenSeed) {
+  RandomPlacement p1, p2;
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(p1.place(nodes(7), 3, a), p2.place(nodes(7), 3, b));
+  }
+}
+
+TEST(RandomPlacement, InvalidArgsThrow) {
+  RandomPlacement p;
+  Rng rng(1);
+  EXPECT_THROW(p.place(nodes(3), 0, rng), CheckError);
+  EXPECT_THROW(p.place({}, 3, rng), CheckError);
+}
+
+TEST(RoundRobinPlacement, CyclesThroughNodes) {
+  RoundRobinPlacement p;
+  Rng rng(1);
+  auto first = p.place(nodes(4), 2, rng);
+  EXPECT_EQ(first, (std::vector<NodeId>{NodeId(0), NodeId(1)}));
+  auto second = p.place(nodes(4), 2, rng);
+  EXPECT_EQ(second, (std::vector<NodeId>{NodeId(1), NodeId(2)}));
+  auto third = p.place(nodes(4), 2, rng);
+  EXPECT_EQ(third, (std::vector<NodeId>{NodeId(2), NodeId(3)}));
+  auto fourth = p.place(nodes(4), 2, rng);
+  EXPECT_EQ(fourth, (std::vector<NodeId>{NodeId(3), NodeId(0)}));
+}
+
+TEST(RoundRobinPlacement, ExactlyBalancedLoad) {
+  RoundRobinPlacement p;
+  Rng rng(1);
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < 28; ++i) {
+    for (NodeId n : p.place(nodes(7), 3, rng)) ++counts[n];
+  }
+  for (const auto& [node, count] : counts) EXPECT_EQ(count, 12);
+}
+
+}  // namespace
+}  // namespace dyrs::dfs

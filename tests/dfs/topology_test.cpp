@@ -1,0 +1,134 @@
+#include "dfs/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "dfs/namenode.h"
+#include "sim/simulator.h"
+
+namespace dyrs::dfs {
+namespace {
+
+std::vector<NodeId> nodes(int n) {
+  std::vector<NodeId> out;
+  for (int i = 0; i < n; ++i) out.push_back(NodeId(i));
+  return out;
+}
+
+TEST(Topology, DefaultIsSingleRack) {
+  Topology t;
+  EXPECT_EQ(t.rack_of(NodeId(0)), 0);
+  EXPECT_EQ(t.rack_of(NodeId(5)), 0);
+  EXPECT_TRUE(t.same_rack(NodeId(0), NodeId(5)));
+  EXPECT_EQ(t.rack_count(), 1);
+}
+
+TEST(Topology, StripedAssignment) {
+  auto t = Topology::striped(6, 3);
+  EXPECT_EQ(t.rack_of(NodeId(0)), 0);
+  EXPECT_EQ(t.rack_of(NodeId(1)), 1);
+  EXPECT_EQ(t.rack_of(NodeId(2)), 2);
+  EXPECT_EQ(t.rack_of(NodeId(3)), 0);
+  EXPECT_EQ(t.rack_count(), 3);
+  EXPECT_TRUE(t.same_rack(NodeId(0), NodeId(3)));
+  EXPECT_FALSE(t.same_rack(NodeId(0), NodeId(1)));
+}
+
+TEST(RackAwarePlacement, DistinctNodesAlways) {
+  RackAwarePlacement p(Topology::striped(8, 2));
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto picked = p.place(nodes(8), 3, rng);
+    ASSERT_EQ(picked.size(), 3u);
+    std::set<NodeId> uniq(picked.begin(), picked.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(RackAwarePlacement, SecondReplicaOffRack) {
+  RackAwarePlacement p(Topology::striped(8, 2));
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto picked = p.place(nodes(8), 3, rng);
+    ASSERT_EQ(picked.size(), 3u);
+    EXPECT_FALSE(p.topology().same_rack(picked[0], picked[1]));
+    // Replica 3 shares replica 2's rack (HDFS default).
+    EXPECT_TRUE(p.topology().same_rack(picked[1], picked[2]));
+  }
+}
+
+TEST(RackAwarePlacement, SpansTwoRacks) {
+  // The loss domain property: a block never has all replicas on one rack
+  // when two racks are available.
+  RackAwarePlacement p(Topology::striped(8, 2));
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto picked = p.place(nodes(8), 3, rng);
+    std::set<int> racks;
+    for (NodeId n : picked) racks.insert(p.topology().rack_of(n));
+    EXPECT_EQ(racks.size(), 2u);
+  }
+}
+
+TEST(RackAwarePlacement, SingleRackFallsBack) {
+  RackAwarePlacement p(Topology{});
+  Rng rng(9);
+  auto picked = p.place(nodes(5), 3, rng);
+  ASSERT_EQ(picked.size(), 3u);
+  std::set<NodeId> uniq(picked.begin(), picked.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(RackAwarePlacement, FewerNodesThanReplicas) {
+  RackAwarePlacement p(Topology::striped(2, 2));
+  Rng rng(11);
+  auto picked = p.place(nodes(2), 3, rng);
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(RackAwarePlacement, RoughlyBalancedLoad) {
+  RackAwarePlacement p(Topology::striped(6, 2));
+  Rng rng(13);
+  std::map<NodeId, int> counts;
+  const int trials = 6000;
+  for (int i = 0; i < trials; ++i) {
+    for (NodeId n : p.place(nodes(6), 3, rng)) ++counts[n];
+  }
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, 3000, 450) << "node " << node;
+  }
+}
+
+TEST(RackAwarePlacement, WorksAsNameNodePolicy) {
+  // Plug into the NameNode like any other policy.
+  dyrs::sim::Simulator sim;
+  dyrs::cluster::Cluster cluster(sim, {.num_nodes = 6, .node = {}, .per_node = nullptr});
+  NameNode namenode(sim,
+                    {.block_size = mib(64),
+                     .replication = 3,
+                     .heartbeat_interval = seconds(3),
+                     .heartbeat_miss_limit = 3,
+                     .placement_seed = 1},
+                    std::make_unique<RackAwarePlacement>(Topology::striped(6, 2)));
+  std::vector<std::unique_ptr<DataNode>> datanodes;
+  for (NodeId id : cluster.node_ids()) {
+    datanodes.push_back(std::make_unique<DataNode>(cluster.node(id)));
+    namenode.register_datanode(datanodes.back().get());
+  }
+  const auto& f = namenode.create_file("/x", mib(640));
+  auto topo = Topology::striped(6, 2);
+  for (BlockId b : f.blocks) {
+    const auto& replicas = namenode.raw_replicas(b);
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<int> racks;
+    for (NodeId n : replicas) racks.insert(topo.rack_of(n));
+    EXPECT_EQ(racks.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace dyrs::dfs

@@ -1,0 +1,210 @@
+#include "dyrs/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace dyrs::core {
+namespace {
+
+std::map<JobId, EvictionMode> refs(std::initializer_list<std::pair<int, EvictionMode>> jobs) {
+  std::map<JobId, EvictionMode> out;
+  for (auto [id, mode] : jobs) out[JobId(id)] = mode;
+  return out;
+}
+
+struct BufferFixture : ::testing::Test {
+  sim::Simulator sim;
+  cluster::Memory memory{sim, {.capacity = gib(1), .read_bandwidth = gib_per_sec(25)}};
+};
+
+TEST_F(BufferFixture, AddPinsMemory) {
+  BufferManager bm(memory);
+  EXPECT_TRUE(bm.try_add(BlockId(1), mib(256), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_TRUE(bm.contains(BlockId(1)));
+  EXPECT_EQ(bm.used(), mib(256));
+  EXPECT_EQ(memory.pinned(), mib(256));
+}
+
+TEST_F(BufferFixture, HardLimitBelowNodeMemory) {
+  BufferManager bm(memory, mib(300));
+  EXPECT_TRUE(bm.try_add(BlockId(1), mib(256), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_FALSE(bm.try_add(BlockId(2), mib(256), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_FALSE(bm.contains(BlockId(2)));
+  EXPECT_EQ(bm.used(), mib(256));
+}
+
+TEST_F(BufferFixture, NodeMemoryAlsoLimits) {
+  BufferManager bm(memory);  // limit = node capacity (1GiB)
+  // Consume most node memory externally (e.g. tasks).
+  ASSERT_TRUE(memory.pin(mib(900)));
+  EXPECT_FALSE(bm.try_add(BlockId(1), mib(256), refs({{1, EvictionMode::Explicit}})));
+}
+
+TEST_F(BufferFixture, ExplicitReleaseEvictsWhenLastRefDrops) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64),
+                         refs({{1, EvictionMode::Explicit}, {2, EvictionMode::Explicit}})));
+  EXPECT_TRUE(bm.release_job(JobId(1)).empty());  // job 2 still holds it
+  auto evicted = bm.release_job(JobId(2));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], BlockId(1));
+  EXPECT_FALSE(bm.contains(BlockId(1)));
+  EXPECT_EQ(memory.pinned(), 0);
+}
+
+TEST_F(BufferFixture, ImplicitEvictionOnRead) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Implicit}})));
+  auto evicted = bm.on_block_read(BlockId(1), JobId(1));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_FALSE(bm.contains(BlockId(1)));
+}
+
+TEST_F(BufferFixture, ExplicitModeIgnoresReads) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_TRUE(bm.on_block_read(BlockId(1), JobId(1)).empty());
+  EXPECT_TRUE(bm.contains(BlockId(1)));
+}
+
+TEST_F(BufferFixture, MixedModesPerJob) {
+  // Job 1 implicit, job 2 explicit on the same block: job 1's read drops
+  // only its own reference.
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64),
+                         refs({{1, EvictionMode::Implicit}, {2, EvictionMode::Explicit}})));
+  EXPECT_TRUE(bm.on_block_read(BlockId(1), JobId(1)).empty());
+  EXPECT_TRUE(bm.contains(BlockId(1)));
+  auto evicted = bm.release_job(JobId(2));
+  EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST_F(BufferFixture, ReadByNonReferencingJobIsNoop) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Implicit}})));
+  EXPECT_TRUE(bm.on_block_read(BlockId(1), JobId(99)).empty());
+  EXPECT_TRUE(bm.contains(BlockId(1)));
+}
+
+TEST_F(BufferFixture, AddRefsToBufferedBlock) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Implicit}})));
+  bm.add_refs(BlockId(1), refs({{2, EvictionMode::Implicit}}));
+  bm.on_block_read(BlockId(1), JobId(1));
+  EXPECT_TRUE(bm.contains(BlockId(1)));  // job 2 still references
+  auto evicted = bm.on_block_read(BlockId(1), JobId(2));
+  EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST_F(BufferFixture, ScavengeDropsDeadJobs) {
+  // Paper §III-C3: when memory pressure hits, the slave asks the cluster
+  // scheduler which jobs are active and clears dead jobs' references.
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  ASSERT_TRUE(bm.try_add(BlockId(2), mib(64), refs({{2, EvictionMode::Explicit}})));
+  ASSERT_TRUE(bm.try_add(BlockId(3), mib(64),
+                         refs({{1, EvictionMode::Explicit}, {2, EvictionMode::Explicit}})));
+  auto evicted = bm.scavenge([](JobId id) { return id == JobId(2); });  // job 1 dead
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], BlockId(1));
+  EXPECT_TRUE(bm.contains(BlockId(2)));
+  EXPECT_TRUE(bm.contains(BlockId(3)));  // job 2 still holds it
+}
+
+TEST_F(BufferFixture, OverThreshold) {
+  BufferManager bm(memory, mib(100));
+  EXPECT_FALSE(bm.over_threshold(0.9));
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(95), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_TRUE(bm.over_threshold(0.9));
+  EXPECT_FALSE(bm.over_threshold(1.0));
+}
+
+TEST_F(BufferFixture, ForceEvictIgnoresRefs) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  bm.force_evict(BlockId(1));
+  EXPECT_FALSE(bm.contains(BlockId(1)));
+  EXPECT_EQ(memory.pinned(), 0);
+  // Job bookkeeping is consistent afterwards: releasing the job is a noop.
+  EXPECT_TRUE(bm.release_job(JobId(1)).empty());
+  bm.force_evict(BlockId(42));  // unknown block: noop
+}
+
+TEST_F(BufferFixture, ClearAllReturnsEverythingAndUnpins) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  ASSERT_TRUE(bm.try_add(BlockId(2), mib(64), refs({{2, EvictionMode::Implicit}})));
+  auto had = bm.clear_all();
+  EXPECT_EQ(had.size(), 2u);
+  EXPECT_EQ(bm.used(), 0);
+  EXPECT_EQ(bm.buffered_count(), 0u);
+  EXPECT_EQ(memory.pinned(), 0);
+}
+
+TEST_F(BufferFixture, DoubleAddThrows) {
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_THROW(bm.try_add(BlockId(1), mib(64), refs({{2, EvictionMode::Explicit}})),
+               CheckError);
+}
+
+TEST_F(BufferFixture, EmptyRefsThrow) {
+  BufferManager bm(memory);
+  EXPECT_THROW(bm.try_add(BlockId(1), mib(64), {}), CheckError);
+}
+
+// Invariant sweep: after arbitrary interleavings of add/release/read, used()
+// equals the sum of sizes of contained blocks and memory.pinned matches.
+class BufferInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferInvariantTest, AccountingStaysConsistent) {
+  sim::Simulator sim;
+  cluster::Memory memory(sim, {.capacity = gib(4), .read_bandwidth = gib_per_sec(25)});
+  BufferManager bm(memory, gib(2));
+  Rng rng(GetParam());
+  std::vector<BlockId> live;
+  Bytes expected_used = 0;
+  std::map<BlockId, Bytes> sizes;
+  for (int step = 0; step < 300; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 2));
+    if (op == 0) {
+      const BlockId block(rng.uniform_int(0, 1'000'000));
+      if (bm.contains(block)) continue;
+      const Bytes size = mib(rng.uniform_int(1, 128));
+      const JobId job(rng.uniform_int(0, 5));
+      const auto mode = rng.bernoulli(0.5) ? EvictionMode::Implicit : EvictionMode::Explicit;
+      if (bm.try_add(block, size, std::map<JobId, EvictionMode>{{job, mode}})) {
+        live.push_back(block);
+        sizes[block] = size;
+        expected_used += size;
+      }
+    } else if (op == 1 && !live.empty()) {
+      const JobId job(rng.uniform_int(0, 5));
+      for (BlockId gone : bm.release_job(job)) {
+        expected_used -= sizes[gone];
+        live.erase(std::remove(live.begin(), live.end(), gone), live.end());
+      }
+    } else if (op == 2 && !live.empty()) {
+      const BlockId block = live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+      const JobId job(rng.uniform_int(0, 5));
+      for (BlockId gone : bm.on_block_read(block, job)) {
+        expected_used -= sizes[gone];
+        live.erase(std::remove(live.begin(), live.end(), gone), live.end());
+      }
+    }
+    ASSERT_EQ(bm.used(), expected_used);
+    ASSERT_EQ(memory.pinned(), expected_used);
+    ASSERT_EQ(bm.buffered_count(), live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferInvariantTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dyrs::core

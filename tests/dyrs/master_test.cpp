@@ -1,0 +1,294 @@
+#include "dyrs/master.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dyrs/strategies.h"
+#include "testing/fixture.h"
+
+namespace dyrs::core {
+namespace {
+
+using dyrs::testing::MiniDfs;
+
+struct MasterFixture : ::testing::Test {
+  explicit MasterFixture(int num_nodes = 4)
+      : dfs({.num_nodes = num_nodes,
+             .disk_bw = mib_per_sec(64),
+             .seek_alpha = 0.0,
+             .replication = 3,
+             .block_size = mib(64)}) {}
+
+  MasterConfig config() {
+    MasterConfig c;
+    c.slave.heartbeat_interval = seconds(1);
+    c.slave.reference_block = mib(64);
+    c.retarget_interval = milliseconds(500);
+    return c;
+  }
+
+  MiniDfs dfs;
+};
+
+TEST_F(MasterFixture, MigratesWholeFile) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64) * 8);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  EXPECT_EQ(master->pending_count(), 8u);
+  dfs.sim.run_until(seconds(30));
+  EXPECT_EQ(master->migrations_completed(), 8);
+  EXPECT_EQ(master->pending_count(), 0u);
+  for (BlockId b : f.blocks) EXPECT_TRUE(dfs.namenode->in_memory(b));
+}
+
+TEST_F(MasterFixture, LateBindingKeepsQueuesShallow) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  dfs.namenode->create_file("/input", mib(64) * 40);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(2));
+  // With queue capacity 1 (1s heartbeat / 1s block), each slave holds at
+  // most 1 queued + 1 active; the rest remain pending at the master.
+  for (NodeId id : dfs.cluster->node_ids()) {
+    EXPECT_LE(master->slave(id).queued_count(), 1);
+    EXPECT_LE(master->slave(id).in_flight_count(), 1);
+  }
+  EXPECT_GT(master->pending_count(), 20u);
+}
+
+TEST_F(MasterFixture, EagerBindingPushesEverythingImmediately) {
+  auto master = make_ignem(*dfs.cluster, *dfs.namenode, config());
+  dfs.namenode->create_file("/input", mib(64) * 40);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  EXPECT_EQ(master->pending_count(), 0u);
+  EXPECT_EQ(master->bound_count(), 40u);
+  // Concurrent execution up to the per-slave copy-thread cap; everything
+  // else waits in the slaves' local queues, nothing at the master.
+  const int cap = master->config().slave.max_concurrent_migrations;
+  int in_flight = 0, local = 0;
+  for (NodeId id : dfs.cluster->node_ids()) {
+    EXPECT_LE(master->slave(id).in_flight_count(), cap);
+    in_flight += master->slave(id).in_flight_count();
+    local += master->slave(id).in_flight_count() + master->slave(id).queued_count();
+  }
+  EXPECT_EQ(in_flight, cap * dfs.cluster->size());
+  EXPECT_EQ(local, 40);
+}
+
+TEST_F(MasterFixture, DyrsAvoidsSlowNode) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  // Node 0 is crippled by heavy interference.
+  for (int i = 0; i < 6; ++i) dfs.cluster->node(NodeId(0)).disk().start_interference();
+  dfs.namenode->create_file("/input", mib(64) * 30);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(minutes(3));
+  EXPECT_EQ(master->migrations_completed(), 30);
+  std::map<NodeId, int> per_node;
+  for (const auto& r : master->records()) ++per_node[r.node];
+  // The slow node should have done far fewer migrations than any fast one.
+  for (NodeId id : dfs.cluster->node_ids()) {
+    if (id == NodeId(0)) continue;
+    EXPECT_GT(per_node[id], per_node[NodeId(0)]) << "node " << id;
+  }
+}
+
+TEST_F(MasterFixture, IgnemIgnoresSlowNode) {
+  auto master = make_ignem(*dfs.cluster, *dfs.namenode, config());
+  for (int i = 0; i < 6; ++i) dfs.cluster->node(NodeId(0)).disk().start_interference();
+  dfs.namenode->create_file("/input", mib(64) * 32);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(minutes(10));
+  std::map<NodeId, int> per_node;
+  for (const auto& r : master->records()) ++per_node[r.node];
+  // Random binding: the slow node gets its proportional share (~1/4 of 32
+  // with 3-way replication on 4 nodes -> every node is a holder of 3/4 of
+  // blocks). Expect it well above zero, unlike DYRS.
+  EXPECT_GT(per_node[NodeId(0)], 3);
+}
+
+TEST_F(MasterFixture, MissedReadCancelsPendingMigration) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64) * 20);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Implicit);
+  // A read for a still-pending block arrives immediately.
+  const BlockId victim = f.blocks[19];
+  master->on_read_started(victim, JobId(1));
+  dfs.sim.run_until(minutes(2));
+  EXPECT_EQ(master->migrations_completed(), 19);
+  ASSERT_EQ(master->cancels().size(), 1u);
+  EXPECT_EQ(master->cancels()[0].block, victim);
+  EXPECT_EQ(master->cancels()[0].reason, CancelReason::MissedRead);
+  EXPECT_FALSE(dfs.namenode->in_memory(victim));
+}
+
+TEST_F(MasterFixture, IgnemDoesNotCancelMissedReads) {
+  auto master = make_ignem(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64) * 8);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Implicit);
+  master->on_read_started(f.blocks[0], JobId(1));
+  dfs.sim.run_until(minutes(2));
+  EXPECT_EQ(master->migrations_completed(), 8);  // wasted work included
+  EXPECT_TRUE(master->cancels().empty());
+}
+
+TEST_F(MasterFixture, ImplicitEvictionAfterMemoryRead) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64));
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Implicit);
+  dfs.sim.run_until(seconds(10));
+  const BlockId b = f.blocks[0];
+  ASSERT_TRUE(dfs.namenode->in_memory(b));
+  const NodeId holder = dfs.namenode->memory_locations(b)[0];
+  dfs::ReadInfo info;
+  info.block = b;
+  info.source = holder;
+  info.medium = dfs::ReadMedium::LocalMemory;
+  master->on_read_completed(b, JobId(1), info);
+  EXPECT_FALSE(dfs.namenode->in_memory(b));
+}
+
+TEST_F(MasterFixture, ExplicitModeSurvivesReadsUntilEvictCommand) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64));
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(10));
+  const BlockId b = f.blocks[0];
+  const NodeId holder = dfs.namenode->memory_locations(b)[0];
+  dfs::ReadInfo info;
+  info.block = b;
+  info.source = holder;
+  info.medium = dfs::ReadMedium::LocalMemory;
+  master->on_read_completed(b, JobId(1), info);
+  EXPECT_TRUE(dfs.namenode->in_memory(b));
+  master->evict_job(JobId(1));
+  EXPECT_FALSE(dfs.namenode->in_memory(b));
+}
+
+TEST_F(MasterFixture, EvictJobClearsPendingToo) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  dfs.namenode->create_file("/input", mib(64) * 30);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  EXPECT_GT(master->pending_count(), 0u);
+  master->evict_job(JobId(1));
+  EXPECT_EQ(master->pending_count(), 0u);
+  dfs.sim.run_until(seconds(30));
+  // Bound/in-flight migrations were cancelled as well.
+  EXPECT_EQ(dfs.namenode->memory_replica_count(), 0u);
+}
+
+TEST_F(MasterFixture, SharedBlockAcrossJobs) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64));
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  master->migrate_files(JobId(2), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(10));
+  EXPECT_EQ(master->migrations_completed(), 1);  // one migration serves both
+  master->evict_job(JobId(1));
+  EXPECT_TRUE(dfs.namenode->in_memory(f.blocks[0]));
+  master->evict_job(JobId(2));
+  EXPECT_FALSE(dfs.namenode->in_memory(f.blocks[0]));
+}
+
+TEST_F(MasterFixture, SecondJobRequestsAlreadyBufferedBlock) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64));
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(10));
+  ASSERT_TRUE(dfs.namenode->in_memory(f.blocks[0]));
+  master->migrate_files(JobId(2), {"/input"}, EvictionMode::Explicit);
+  EXPECT_EQ(master->pending_count(), 0u);
+  master->evict_job(JobId(1));
+  EXPECT_TRUE(dfs.namenode->in_memory(f.blocks[0]));  // job 2 holds it
+  master->evict_job(JobId(2));
+  EXPECT_FALSE(dfs.namenode->in_memory(f.blocks[0]));
+}
+
+TEST_F(MasterFixture, SlaveCrashDropsSoftState) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64) * 4);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(30));
+  ASSERT_EQ(master->migrations_completed(), 4);
+  // Crash the process on a node that buffered at least one block.
+  NodeId victim = master->records()[0].node;
+  dfs.namenode->datanode(victim)->crash_process();
+  for (BlockId b : f.blocks) {
+    for (NodeId n : dfs.namenode->memory_locations(b)) {
+      EXPECT_NE(n, victim);
+    }
+  }
+  EXPECT_EQ(dfs.cluster->node(victim).memory().pinned(), 0);
+}
+
+TEST_F(MasterFixture, MasterFailoverRebuildsFromSlaveReports) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64) * 4);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(30));
+  ASSERT_EQ(dfs.namenode->memory_replica_count(), 4u);
+  master->master_failover();
+  EXPECT_EQ(dfs.namenode->memory_replica_count(), 0u);  // state lost
+  // One heartbeat later the registry is consistent again (§III-C1).
+  dfs.sim.run_until(dfs.sim.now() + seconds(2));
+  EXPECT_EQ(dfs.namenode->memory_replica_count(), 4u);
+  for (BlockId b : f.blocks) EXPECT_TRUE(dfs.namenode->in_memory(b));
+}
+
+TEST_F(MasterFixture, EstimateSeriesRecordedPerHeartbeat) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  dfs.namenode->create_file("/input", mib(64) * 8);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(10));
+  for (NodeId id : dfs.cluster->node_ids()) {
+    EXPECT_GE(master->estimate_series(id).size(), 9u);
+  }
+}
+
+TEST_F(MasterFixture, NaiveBalancerBindsFifoToAnyFreeSlave) {
+  auto master = make_naive_balancer(*dfs.cluster, *dfs.namenode, config());
+  // Node 0 crippled: naive balancing still hands it work.
+  for (int i = 0; i < 6; ++i) dfs.cluster->node(NodeId(0)).disk().start_interference();
+  dfs.namenode->create_file("/input", mib(64) * 30);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(minutes(10));
+  std::map<NodeId, int> per_node;
+  for (const auto& r : master->records()) ++per_node[r.node];
+  EXPECT_GT(per_node[NodeId(0)], 0);
+}
+
+TEST_F(MasterFixture, SmallestJobFirstPrioritizesSmallJobs) {
+  // Extension of the paper's FIFO policy (§III names alternative policies
+  // as future work): with SJF ordering, a later-arriving small job's
+  // single block binds before the earlier large job's backlog.
+  auto cfg = config();
+  cfg.ordering = MasterConfig::Ordering::SmallestJobFirst;
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, cfg);
+  dfs.namenode->create_file("/big", mib(64) * 40);
+  const auto& small = dfs.namenode->create_file("/small", mib(64));
+  master->migrate_files(JobId(1), {"/big"}, EvictionMode::Explicit);
+  master->migrate_files(JobId(2), {"/small"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(4));
+  // The small job's block is already in memory while most of the large
+  // job's backlog still waits.
+  EXPECT_TRUE(dfs.namenode->in_memory(small.blocks[0]));
+  EXPECT_GT(master->pending_count(), 20u);
+}
+
+TEST_F(MasterFixture, FifoOrderingServesLargeJobFirst) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  dfs.namenode->create_file("/big", mib(64) * 40);
+  const auto& small = dfs.namenode->create_file("/small", mib(64));
+  master->migrate_files(JobId(1), {"/big"}, EvictionMode::Explicit);
+  master->migrate_files(JobId(2), {"/small"}, EvictionMode::Explicit);
+  dfs.sim.run_until(seconds(4));
+  // FIFO: the small job's block sits behind ~40 blocks of the large job.
+  EXPECT_FALSE(dfs.namenode->in_memory(small.blocks[0]));
+}
+
+TEST_F(MasterFixture, UnknownSlaveLookupThrows) {
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  EXPECT_THROW(master->slave(NodeId(99)), CheckError);
+}
+
+}  // namespace
+}  // namespace dyrs::core

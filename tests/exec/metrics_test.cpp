@@ -1,0 +1,95 @@
+#include "exec/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace dyrs::exec {
+namespace {
+
+TaskRecord map_task(double start_s, double dur_s, Bytes input, dfs::ReadMedium medium) {
+  TaskRecord t;
+  t.phase = TaskPhase::Map;
+  t.started = seconds(start_s);
+  t.read_started = seconds(start_s);
+  t.read_done = seconds(start_s + dur_s / 2);
+  t.finished = seconds(start_s + dur_s);
+  t.input = input;
+  t.medium = medium;
+  return t;
+}
+
+TEST(Metrics, MeanJobDuration) {
+  Metrics m;
+  JobRecord a;
+  a.submitted = seconds(0);
+  a.finished = seconds(10);
+  JobRecord b;
+  b.submitted = seconds(5);
+  b.finished = seconds(25);
+  m.add_job(a);
+  m.add_job(b);
+  EXPECT_DOUBLE_EQ(m.mean_job_duration_s(), 15.0);
+}
+
+TEST(Metrics, MeanMapTaskIgnoresReduces) {
+  Metrics m;
+  m.add_task(map_task(0, 4.0, mib(64), dfs::ReadMedium::LocalDisk));
+  TaskRecord reduce;
+  reduce.phase = TaskPhase::Reduce;
+  reduce.started = 0;
+  reduce.finished = seconds(100);
+  m.add_task(reduce);
+  EXPECT_DOUBLE_EQ(m.mean_map_task_duration_s(), 4.0);
+}
+
+TEST(Metrics, MemoryReadFractionWeightsByBytes) {
+  Metrics m;
+  m.add_task(map_task(0, 1, mib(192), dfs::ReadMedium::LocalMemory));
+  m.add_task(map_task(0, 1, mib(64), dfs::ReadMedium::LocalDisk));
+  EXPECT_DOUBLE_EQ(m.memory_read_fraction(), 0.75);
+}
+
+TEST(Metrics, MemoryReadFractionCountsRemoteMemory) {
+  Metrics m;
+  m.add_task(map_task(0, 1, mib(64), dfs::ReadMedium::RemoteMemory));
+  EXPECT_DOUBLE_EQ(m.memory_read_fraction(), 1.0);
+}
+
+TEST(Metrics, EmptyAggregatesAreZero) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.mean_job_duration_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_map_task_duration_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.memory_read_fraction(), 0.0);
+}
+
+TEST(Metrics, JobLookup) {
+  Metrics m;
+  JobRecord a;
+  a.id = JobId(7);
+  a.name = "seven";
+  m.add_job(a);
+  EXPECT_EQ(m.job(JobId(7)).name, "seven");
+  EXPECT_THROW(m.job(JobId(8)), CheckError);
+}
+
+TEST(JobRecord, DerivedDurations) {
+  JobRecord j;
+  j.submitted = seconds(10);
+  j.eligible = seconds(15);
+  j.first_task_start = seconds(16);
+  j.maps_done = seconds(30);
+  j.finished = seconds(40);
+  EXPECT_DOUBLE_EQ(j.duration_s(), 30.0);
+  EXPECT_DOUBLE_EQ(j.map_phase_s(), 20.0);
+  EXPECT_DOUBLE_EQ(j.lead_time_s(), 6.0);
+}
+
+TEST(TaskRecord, DerivedDurations) {
+  auto t = map_task(2.0, 3.0, mib(1), dfs::ReadMedium::LocalDisk);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 3.0);
+  EXPECT_DOUBLE_EQ(t.read_s(), 1.5);
+}
+
+}  // namespace
+}  // namespace dyrs::exec

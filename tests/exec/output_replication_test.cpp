@@ -1,0 +1,91 @@
+// Output write-pipeline edge cases.
+#include <gtest/gtest.h>
+
+#include "exec/testbed.h"
+
+namespace dyrs::exec {
+namespace {
+
+TestbedConfig cfg(int replication, int nodes = 4) {
+  TestbedConfig c;
+  c.num_nodes = nodes;
+  c.disk_bandwidth = mib_per_sec(64);
+  c.seek_alpha = 0.0;
+  c.block_size = mib(64);
+  c.scheme = Scheme::Hdfs;
+  c.output_replication = replication;
+  return c;
+}
+
+double run_job(Testbed& tb, double selectivity = 1.0) {
+  tb.load_file("/in", mib(128));
+  JobSpec job;
+  job.name = "j";
+  job.input_files = {"/in"};
+  job.selectivity = selectivity;
+  job.num_reducers = 2;
+  job.platform_overhead = seconds(1);
+  tb.submit(job);
+  tb.run();
+  return tb.metrics().jobs()[0].duration_s();
+}
+
+TEST(OutputReplication, TripleWriteSlowsJob) {
+  Testbed single(cfg(1));
+  Testbed triple(cfg(3));
+  const double t1 = run_job(single);
+  const double t3 = run_job(triple);
+  // Extra pipeline members add disk load; with 4 nodes the remote copies
+  // land on disks the reducers also use, so the job takes longer.
+  EXPECT_GT(t3, t1);
+}
+
+TEST(OutputReplication, CappedByClusterSize) {
+  // Replication 5 on a 3-node cluster: only 3 copies possible; no crash,
+  // 3x write bytes.
+  Testbed tb(cfg(5, 3));
+  run_job(tb);
+  double write_bytes = 0;
+  for (NodeId id : tb.cluster().node_ids()) {
+    write_bytes += tb.cluster().node(id).disk().bytes_by_class(cluster::IoClass::Write);
+  }
+  EXPECT_NEAR(write_bytes, 3.0 * static_cast<double>(mib(128)),
+              static_cast<double>(mib(2)));
+}
+
+TEST(OutputReplication, SkipsDeadRemotes) {
+  Testbed tb(cfg(3, 4));
+  tb.cluster().node(NodeId(3)).set_alive(false);
+  tb.simulator().run_until(seconds(15));  // liveness detection
+  run_job(tb);
+  // Job completes; the dead node received no writes.
+  EXPECT_DOUBLE_EQ(tb.cluster().node(NodeId(3)).disk().bytes_by_class(cluster::IoClass::Write),
+                   0.0);
+}
+
+TEST(OutputReplication, ZeroOutputJobUnaffected) {
+  Testbed tb(cfg(3));
+  tb.load_file("/in", mib(128));
+  JobSpec job;
+  job.name = "j";
+  job.input_files = {"/in"};
+  job.selectivity = 1.0;
+  job.shuffle_bytes = mib(64);
+  job.output_bytes = 0;
+  job.num_reducers = 2;
+  tb.submit(job);
+  tb.run();
+  double write_bytes = 0;
+  for (NodeId id : tb.cluster().node_ids()) {
+    write_bytes += tb.cluster().node(id).disk().bytes_by_class(cluster::IoClass::Write);
+  }
+  EXPECT_DOUBLE_EQ(write_bytes, 0.0);
+}
+
+TEST(OutputReplication, InvalidConfigThrows) {
+  TestbedConfig c = cfg(0);
+  EXPECT_THROW(Testbed tb(c), CheckError);
+}
+
+}  // namespace
+}  // namespace dyrs::exec

@@ -1,0 +1,237 @@
+// End-to-end integration tests: the paper's qualitative claims at reduced
+// scale, run through the full stack (Testbed -> engine -> MiniDFS ->
+// migration scheme -> cluster model).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/testbed.h"
+#include "workloads/sort.h"
+#include "workloads/swim.h"
+
+namespace dyrs {
+namespace {
+
+exec::TestbedConfig small_paper_config(exec::Scheme scheme, std::uint64_t seed = 1) {
+  exec::TestbedConfig c;
+  c.num_nodes = 5;
+  c.disk_bandwidth = mib_per_sec(128);
+  c.seek_alpha = 0.15;
+  c.block_size = mib(128);
+  c.replication = 3;
+  c.placement_seed = seed;
+  c.scheme = scheme;
+  c.master.slave.reference_block = mib(128);
+  return c;
+}
+
+double run_sort(exec::Scheme scheme, bool slow_node, Bytes input = gib(2),
+                SimDuration lead = seconds(6)) {
+  exec::Testbed tb(small_paper_config(scheme));
+  if (slow_node) tb.add_persistent_interference(NodeId(0), 2);
+  tb.load_file("/sort/in", input);
+  wl::SortConfig sort;
+  sort.input = input;
+  sort.platform_overhead = lead;
+  sort.reducers = 6;
+  tb.submit(wl::sort_job("/sort/in", sort));
+  tb.run();
+  return tb.metrics().jobs()[0].duration_s();
+}
+
+TEST(EndToEnd, DyrsBeatsHdfsWithLeadTime) {
+  const double hdfs = run_sort(exec::Scheme::Hdfs, false);
+  const double dyrs = run_sort(exec::Scheme::Dyrs, false);
+  EXPECT_LT(dyrs, hdfs * 0.95);
+}
+
+TEST(EndToEnd, InRamUpperBoundsDyrs) {
+  const double ram = run_sort(exec::Scheme::InputsInRam, false);
+  const double dyrs = run_sort(exec::Scheme::Dyrs, false);
+  EXPECT_LE(ram, dyrs * 1.02);
+}
+
+TEST(EndToEnd, IgnemSuffersOnHeterogeneousCluster) {
+  // The paper's central negative result: with a slow node, Ignem is worse
+  // than DYRS (and can be worse than plain HDFS).
+  const double dyrs = run_sort(exec::Scheme::Dyrs, true);
+  const double ignem = run_sort(exec::Scheme::Ignem, true);
+  EXPECT_GT(ignem, dyrs);
+}
+
+TEST(EndToEnd, DyrsToleratesSlowNode) {
+  // Heterogeneity still costs something DYRS cannot fix (reduce-phase
+  // writes land on the interfered disk too), but DYRS keeps its edge over
+  // HDFS under the same conditions and degrades boundedly vs homogeneous.
+  const double dyrs_heter = run_sort(exec::Scheme::Dyrs, true);
+  const double hdfs_heter = run_sort(exec::Scheme::Hdfs, true);
+  const double dyrs_homog = run_sort(exec::Scheme::Dyrs, false);
+  EXPECT_LT(dyrs_heter, hdfs_heter);
+  EXPECT_LT(dyrs_heter, dyrs_homog * 2.5);
+}
+
+TEST(EndToEnd, MoreLeadTimeMoreMemoryReads) {
+  auto fraction_with_lead = [](SimDuration lead) {
+    exec::Testbed tb(small_paper_config(exec::Scheme::Dyrs));
+    tb.load_file("/in", gib(2));
+    wl::SortConfig sort;
+    sort.input = gib(2);
+    sort.platform_overhead = seconds(1);
+    sort.extra_lead_time = lead;
+    tb.submit(wl::sort_job("/in", sort));
+    tb.run();
+    return tb.metrics().memory_read_fraction();
+  };
+  const double none = fraction_with_lead(0);
+  const double some = fraction_with_lead(seconds(10));
+  const double lots = fraction_with_lead(seconds(60));
+  EXPECT_LE(none, some + 1e-9);
+  EXPECT_LE(some, lots + 1e-9);
+  EXPECT_GT(lots, 0.9);
+}
+
+TEST(EndToEnd, MigrationRespectsMemoryLimit) {
+  auto config = small_paper_config(exec::Scheme::Dyrs);
+  config.master.slave.memory_limit = mib(128);  // one block per slave
+  exec::Testbed tb(config);
+  tb.load_file("/in", gib(2));
+  wl::SortConfig sort;
+  sort.input = gib(2);
+  sort.platform_overhead = seconds(30);
+  tb.submit(wl::sort_job("/in", sort));
+  tb.run();
+  // Job completes; pinned migrated memory never exceeded the limit.
+  EXPECT_EQ(tb.metrics().jobs().size(), 1u);
+  for (NodeId id : tb.cluster().node_ids()) {
+    const auto& series = tb.cluster().node(id).memory().usage_series();
+    if (series.empty()) continue;
+    EXPECT_LE(series.step_max(0, tb.simulator().now()), static_cast<double>(mib(128)));
+  }
+}
+
+TEST(EndToEnd, BuffersDrainAfterWorkloadEnds) {
+  // Pro-active eviction: once all jobs finished, no migrated data should
+  // stay pinned (implicit eviction + job-finish eviction).
+  exec::Testbed tb(small_paper_config(exec::Scheme::Dyrs));
+  tb.load_file("/in", gib(1));
+  exec::JobSpec job;
+  job.name = "scan";
+  job.input_files = {"/in"};
+  job.selectivity = 0.1;
+  job.num_reducers = 2;
+  job.platform_overhead = seconds(10);
+  tb.submit(job);
+  tb.run();
+  for (NodeId id : tb.cluster().node_ids()) {
+    EXPECT_EQ(tb.cluster().node(id).memory().pinned(), 0) << "node " << id;
+  }
+  EXPECT_EQ(tb.namenode().memory_replica_count(), 0u);
+}
+
+TEST(EndToEnd, SlaveCrashMidWorkloadOnlyCostsSpeedup) {
+  exec::Testbed tb(small_paper_config(exec::Scheme::Dyrs));
+  tb.load_file("/in", gib(2));
+  wl::SortConfig sort;
+  sort.input = gib(2);
+  sort.platform_overhead = seconds(8);
+  tb.submit(wl::sort_job("/in", sort));
+  tb.simulator().schedule_at(seconds(4), [&]() {
+    tb.namenode().datanode(NodeId(1))->crash_process();
+  });
+  tb.simulator().schedule_at(seconds(5), [&]() {
+    tb.namenode().datanode(NodeId(1))->restart_process();
+  });
+  tb.run();
+  ASSERT_EQ(tb.metrics().jobs().size(), 1u);  // completed despite the crash
+  EXPECT_EQ(tb.cluster().node(NodeId(1)).memory().pinned(), 0);
+}
+
+TEST(EndToEnd, MasterFailoverMidWorkloadOnlyCostsSpeedup) {
+  exec::Testbed tb(small_paper_config(exec::Scheme::Dyrs));
+  tb.load_file("/in", gib(2));
+  wl::SortConfig sort;
+  sort.input = gib(2);
+  sort.platform_overhead = seconds(8);
+  tb.submit(wl::sort_job("/in", sort));
+  tb.simulator().schedule_at(seconds(4), [&]() { tb.master()->master_failover(); });
+  tb.run();
+  ASSERT_EQ(tb.metrics().jobs().size(), 1u);
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    exec::Testbed tb(small_paper_config(exec::Scheme::Dyrs, /*seed=*/9));
+    tb.add_persistent_interference(NodeId(0), 2);
+    tb.load_file("/in", gib(2));
+    wl::SortConfig sort;
+    sort.input = gib(2);
+    tb.submit(wl::sort_job("/in", sort));
+    tb.run();
+    return tb.metrics().jobs()[0].duration_s();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(EndToEnd, ConcurrentJobsAllServed) {
+  wl::SwimConfig swim;
+  swim.num_jobs = 25;
+  swim.total_input = gib(10);
+  swim.max_input = gib(3);
+  auto workload = wl::SwimWorkload::generate(swim);
+  exec::Testbed tb(small_paper_config(exec::Scheme::Dyrs));
+  exec::JobSpec base;
+  base.platform_overhead = seconds(4);
+  workload.install(tb, base);
+  tb.run();
+  EXPECT_EQ(tb.metrics().jobs().size(), 25u);
+  // Every map task read its full block from somewhere.
+  for (const auto& t : tb.metrics().tasks()) {
+    if (t.phase != exec::TaskPhase::Map) continue;
+    EXPECT_GT(t.finished, t.started);
+  }
+}
+
+// Scheme sweep: for every scheme the same workload completes and accounts
+// cleanly (no leaked pins, no leftover pending migrations).
+class SchemeSweepTest : public ::testing::TestWithParam<exec::Scheme> {};
+
+TEST_P(SchemeSweepTest, WorkloadCompletesCleanly) {
+  const exec::Scheme scheme = GetParam();
+  exec::Testbed tb(small_paper_config(scheme));
+  tb.add_persistent_interference(NodeId(0), 2);
+  tb.load_file("/a", gib(1));
+  tb.load_file("/b", mib(384));
+  exec::JobSpec job;
+  job.name = "a";
+  job.input_files = {"/a"};
+  job.selectivity = 0.2;
+  job.num_reducers = 2;
+  job.platform_overhead = seconds(4);
+  tb.submit(job);
+  job.name = "b";
+  job.input_files = {"/b"};
+  tb.submit_at(job, seconds(3));
+  tb.run();
+  EXPECT_EQ(tb.metrics().jobs().size(), 2u);
+  if (tb.master() != nullptr) {
+    EXPECT_EQ(tb.master()->pending_count(), 0u);
+    for (NodeId id : tb.cluster().node_ids()) {
+      EXPECT_EQ(tb.cluster().node(id).memory().pinned(), 0) << "node " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweepTest,
+                         ::testing::Values(exec::Scheme::Hdfs, exec::Scheme::InputsInRam,
+                                           exec::Scheme::Ignem, exec::Scheme::Dyrs,
+                                           exec::Scheme::NaiveBalancer),
+                         [](const ::testing::TestParamInfo<exec::Scheme>& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dyrs

@@ -1,0 +1,183 @@
+// Real-threaded runtime tests. Wall-clock timing is kept loose: these
+// verify protocol behaviour (load distribution, adaptivity, shutdown
+// safety), not precise timing.
+#include "rt/master.h"
+
+#include <gtest/gtest.h>
+
+#include "rt/throttled_disk.h"
+
+namespace dyrs::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+RtSlave::Options slave_opts(int node, Rate bw) {
+  RtSlave::Options o;
+  o.node = NodeId(node);
+  o.disk_bandwidth = bw;
+  o.queue_capacity = 2;
+  o.reference_block = mib(1);
+  return o;
+}
+
+std::vector<RtBlock> blocks_on_all(int count, int nodes, Bytes size = mib(1)) {
+  std::vector<RtBlock> out;
+  for (int i = 0; i < count; ++i) {
+    RtBlock b;
+    b.block = BlockId(i);
+    b.size = size;
+    for (int n = 0; n < nodes; ++n) b.replicas.push_back(NodeId(n));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+TEST(ThrottledDisk, ReadTakesProportionalTime) {
+  ThrottledDisk disk(mib_per_sec(100));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(disk.read(mib(5)));  // ~50ms
+  const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GT(s, 0.03);
+  EXPECT_LT(s, 0.5);
+}
+
+TEST(ThrottledDisk, CancellationStopsRead) {
+  ThrottledDisk disk(mib_per_sec(1));  // 1 MiB/s: a 10MiB read would be 10s
+  std::atomic<bool> cancelled{false};
+  std::jthread killer([&] {
+    std::this_thread::sleep_for(20ms);
+    cancelled = true;
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(disk.read(mib(10), &cancelled));
+  const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(s, 2.0);
+}
+
+TEST(ThrottledDisk, BandwidthChangeMidRead) {
+  ThrottledDisk disk(mib_per_sec(10));  // 4MiB would take 400ms
+  std::jthread booster([&] {
+    std::this_thread::sleep_for(20ms);
+    disk.set_bandwidth(mib_per_sec(1000));
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(disk.read(mib(4)));
+  const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(s, 0.3);  // the speedup took effect mid-read
+}
+
+TEST(RtMaster, DrainsAllMigrations) {
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(200)), slave_opts(1, mib_per_sec(200))},
+                   .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(12, 2));
+  ASSERT_TRUE(master.wait_idle(10s));
+  EXPECT_EQ(master.completed(), 12);
+  EXPECT_EQ(master.pending(), 0u);
+  EXPECT_EQ(master.slave(NodeId(0)).buffered_count() + master.slave(NodeId(1)).buffered_count(),
+            12u);
+}
+
+TEST(RtMaster, LoadFollowsBandwidth) {
+  // Node 0 is 8x faster; it should complete the bulk of the migrations.
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(400)), slave_opts(1, mib_per_sec(50))},
+                   .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(24, 2));
+  ASSERT_TRUE(master.wait_idle(30s));
+  auto per_node = master.completed_per_node();
+  EXPECT_GT(per_node[NodeId(0)], per_node[NodeId(1)] * 2);
+}
+
+TEST(RtMaster, BuffersHoldRealBytes) {
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(500))}, .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(4, 1, mib(2)));
+  ASSERT_TRUE(master.wait_idle(10s));
+  EXPECT_EQ(master.slave(NodeId(0)).buffered_bytes(), mib(8));
+}
+
+TEST(RtMaster, EstimatorAdaptsToSlowdown) {
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(400))}, .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(4, 1));
+  ASSERT_TRUE(master.wait_idle(10s));
+  const double fast = master.slave(NodeId(0)).sec_per_byte();
+  master.slave(NodeId(0)).disk().set_bandwidth(mib_per_sec(20));
+  master.migrate(blocks_on_all(4, 1));  // block ids reused: fine, new entries
+  ASSERT_TRUE(master.wait_idle(30s));
+  EXPECT_GT(master.slave(NodeId(0)).sec_per_byte(), fast * 3);
+}
+
+TEST(RtMaster, ConcurrentMigrateCalls) {
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(300)), slave_opts(1, mib_per_sec(300)),
+                              slave_opts(2, mib_per_sec(300))},
+                   .retarget_interval = 2ms});
+  std::vector<std::jthread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&master, t] {
+      std::vector<RtBlock> blocks;
+      for (int i = 0; i < 5; ++i) {
+        RtBlock b;
+        b.block = BlockId(t * 100 + i);
+        b.size = mib(1);
+        b.replicas = {NodeId(0), NodeId(1), NodeId(2)};
+        blocks.push_back(std::move(b));
+      }
+      master.migrate(blocks);
+    });
+  }
+  submitters.clear();  // join all
+  ASSERT_TRUE(master.wait_idle(30s));
+  EXPECT_EQ(master.completed(), 20);
+}
+
+TEST(RtMaster, CancelPendingMigration) {
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(1))}, .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(10, 1));
+  // Most blocks still pending or queued; cancel one that can't have run.
+  EXPECT_TRUE(master.cancel(BlockId(9)));
+  EXPECT_FALSE(master.cancel(BlockId(9)));
+  EXPECT_FALSE(master.cancel(BlockId(999)));
+}
+
+TEST(RtMaster, CancelActiveMigrationUnblocksQuickly) {
+  // One slow slave; the first block would take ~8s. Cancelling everything
+  // lets wait_idle succeed almost immediately.
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(1))}, .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(3, 1, mib(8)));
+  std::this_thread::sleep_for(50ms);  // let the first read start
+  int cancelled = 0;
+  for (int b = 0; b < 3; ++b) {
+    // A block in flight between master pull and slave enqueue is briefly
+    // invisible to cancel; retry covers that hand-off window.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (master.cancel(BlockId(b))) {
+        ++cancelled;
+        break;
+      }
+      std::this_thread::sleep_for(2ms);
+    }
+  }
+  EXPECT_EQ(cancelled, 3);
+  EXPECT_TRUE(master.wait_idle(5s));
+  EXPECT_EQ(master.completed(), 0);
+  EXPECT_EQ(master.slave(NodeId(0)).buffered_count(), 0u);
+}
+
+TEST(RtMaster, ShutdownIsIdempotentAndSafeWithPendingWork) {
+  auto master = std::make_unique<RtMaster>(
+      RtMaster::Options{.slaves = {slave_opts(0, mib_per_sec(1))}, .retarget_interval = 2ms});
+  master->migrate(blocks_on_all(50, 1));  // would take ~50s: shut down early
+  std::this_thread::sleep_for(30ms);
+  master->shutdown();
+  master->shutdown();
+  master.reset();  // no hang, no crash
+  SUCCEED();
+}
+
+TEST(RtMaster, WaitIdleTimesOutWhenBusy) {
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(1))}, .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(3, 1));
+  EXPECT_FALSE(master.wait_idle(30ms));
+}
+
+}  // namespace
+}  // namespace dyrs::rt

@@ -1,0 +1,110 @@
+// Property tests for the processor-sharing resource: conservation laws and
+// ordering invariants under randomized flow churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/fair_share.h"
+
+namespace dyrs::sim {
+namespace {
+
+class FairSharePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Conservation: payload moved by completed flows exactly matches the sum of
+// their sizes, and total bytes never exceed capacity * busy time (equality
+// only without a seek penalty).
+TEST_P(FairSharePropertyTest, ByteConservationUnderChurn) {
+  Rng rng(GetParam());
+  Simulator sim;
+  const double alpha = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.05, 0.4);
+  FairShareResource r(sim, {.name = "d", .capacity = mib_per_sec(100), .seek_alpha = alpha});
+
+  Bytes submitted = 0;
+  Bytes completed_bytes = 0;
+  int completed = 0;
+  const int flows = static_cast<int>(rng.uniform_int(5, 40));
+  for (int i = 0; i < flows; ++i) {
+    const Bytes size = mib(rng.uniform_int(1, 64));
+    submitted += size;
+    const auto at = seconds(rng.uniform(0.0, 20.0));
+    sim.schedule_at(at, [&r, &completed, &completed_bytes, size]() {
+      r.start_flow(size, [&completed, &completed_bytes, size](SimTime) {
+        ++completed;
+        completed_bytes += size;
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, flows);
+  EXPECT_EQ(completed_bytes, submitted);
+  EXPECT_NEAR(r.total_bytes_transferred(), static_cast<double>(submitted),
+              static_cast<double>(flows) * 1024.0);
+  // Throughput bound: with penalty, strictly below capacity*busy.
+  EXPECT_LE(r.total_bytes_transferred(), mib_per_sec(100) * r.busy_seconds() * 1.001);
+}
+
+// Monotonicity: adding an interference flow never makes any finite flow
+// finish earlier.
+TEST_P(FairSharePropertyTest, InterferenceNeverSpeedsAnythingUp) {
+  Rng rng(GetParam() + 1000);
+  const int flows = static_cast<int>(rng.uniform_int(2, 10));
+  std::vector<Bytes> sizes;
+  std::vector<SimTime> starts;
+  for (int i = 0; i < flows; ++i) {
+    sizes.push_back(mib(rng.uniform_int(1, 32)));
+    starts.push_back(seconds(rng.uniform(0.0, 5.0)));
+  }
+
+  auto run_once = [&](bool interference) {
+    Simulator sim;
+    FairShareResource r(sim, {.name = "d", .capacity = mib_per_sec(100), .seek_alpha = 0.15});
+    if (interference) r.start_interference();
+    std::map<int, SimTime> done;
+    for (int i = 0; i < flows; ++i) {
+      sim.schedule_at(starts[static_cast<std::size_t>(i)], [&r, &done, &sizes, i]() {
+        r.start_flow(sizes[static_cast<std::size_t>(i)],
+                     [&done, i](SimTime t) { done[i] = t; });
+      });
+    }
+    sim.run_until(hours(1));
+    return done;
+  };
+
+  auto base = run_once(false);
+  auto loaded = run_once(true);
+  ASSERT_EQ(base.size(), static_cast<std::size_t>(flows));
+  ASSERT_EQ(loaded.size(), static_cast<std::size_t>(flows));
+  for (int i = 0; i < flows; ++i) {
+    EXPECT_GE(loaded[i], base[i]) << "flow " << i;
+  }
+}
+
+// Determinism: identical schedules produce bit-identical completions.
+TEST_P(FairSharePropertyTest, DeterministicCompletionTimes) {
+  auto run_once = [&]() {
+    Rng rng(GetParam() + 2000);
+    Simulator sim;
+    FairShareResource r(sim, {.name = "d", .capacity = mib_per_sec(77), .seek_alpha = 0.2});
+    std::vector<SimTime> done;
+    for (int i = 0; i < 20; ++i) {
+      const Bytes size = mib(rng.uniform_int(1, 16));
+      sim.schedule_at(seconds(rng.uniform(0.0, 3.0)),
+                      [&r, &done, size]() {
+                        r.start_flow(size, [&done](SimTime t) { done.push_back(t); });
+                      });
+    }
+    sim.run();
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairSharePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace dyrs::sim

@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace dyrs::sim {
+namespace {
+
+TEST(NextEventTime, MinusOneWhenIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), -1);
+}
+
+TEST(NextEventTime, ReportsEarliestRunnable) {
+  Simulator sim;
+  sim.schedule_at(seconds(5), [] {});
+  auto early = sim.schedule_at(seconds(2), [] {});
+  EXPECT_EQ(sim.next_event_time(), seconds(2));
+  early.cancel();
+  EXPECT_EQ(sim.next_event_time(), seconds(5));
+}
+
+TEST(NextEventTime, AdvancesAsEventsFire) {
+  Simulator sim;
+  sim.schedule_at(seconds(1), [] {});
+  sim.schedule_at(seconds(3), [] {});
+  sim.step();
+  EXPECT_EQ(sim.next_event_time(), seconds(3));
+  sim.step();
+  EXPECT_EQ(sim.next_event_time(), -1);
+}
+
+}  // namespace
+}  // namespace dyrs::sim

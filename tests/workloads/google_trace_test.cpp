@@ -1,0 +1,109 @@
+#include "workloads/google_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace dyrs::wl {
+namespace {
+
+GoogleTraceConfig quick_config() {
+  GoogleTraceConfig c;
+  c.num_servers = 20;
+  c.duration = hours(6);
+  c.num_jobs = 3000;
+  return c;
+}
+
+TEST(GoogleTrace, Deterministic) {
+  auto a = GoogleTrace::generate(quick_config());
+  auto b = GoogleTrace::generate(quick_config());
+  ASSERT_EQ(a.tasks().size(), b.tasks().size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(50, a.tasks().size()); ++i) {
+    EXPECT_EQ(a.tasks()[i].start, b.tasks()[i].start);
+    EXPECT_EQ(a.tasks()[i].server, b.tasks()[i].server);
+  }
+}
+
+TEST(GoogleTrace, MeanUtilizationNearTarget) {
+  auto c = quick_config();
+  c.num_servers = 60;
+  c.duration = hours(24);
+  auto trace = GoogleTrace::generate(c);
+  // Paper: mean disk utilization 3.1% over 24h. Allow generator noise.
+  EXPECT_NEAR(trace.mean_utilization(), 0.031, 0.02);
+}
+
+TEST(GoogleTrace, MostSamplesUnderFourPercent) {
+  // Paper Fig 3: for 80% of measurements utilization is under 4%.
+  auto c = quick_config();
+  c.num_servers = 40;
+  c.duration = hours(24);
+  auto trace = GoogleTrace::generate(c);
+  auto samples = trace.utilization_samples(minutes(5));
+  EXPECT_GT(samples.cdf_at(0.04), 0.70);
+}
+
+TEST(GoogleTrace, NodesAreHeterogeneous) {
+  // Fig 1: some nodes are consistently much busier than others.
+  auto c = quick_config();
+  c.duration = hours(24);
+  auto trace = GoogleTrace::generate(c);
+  double lo = 1e9, hi = 0.0;
+  for (int s = 0; s < c.num_servers; ++s) {
+    const double u = trace.utilization_series(s).step_mean(0, c.duration);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_GT(hi, lo * 5.0) << "expected >5x spread across nodes";
+}
+
+TEST(GoogleTrace, UtilizationVariesOverTime) {
+  auto c = quick_config();
+  c.duration = hours(24);
+  auto trace = GoogleTrace::generate(c);
+  // Find the busiest node and check its 5-min buckets are not flat.
+  int busiest = 0;
+  double best = -1;
+  for (int s = 0; s < c.num_servers; ++s) {
+    const double u = trace.utilization_series(s).step_mean(0, c.duration);
+    if (u > best) {
+      best = u;
+      busiest = s;
+    }
+  }
+  auto buckets = trace.node_utilization(busiest, minutes(5));
+  double lo = 1e9, hi = 0.0;
+  for (const auto& b : buckets) {
+    lo = std::min(lo, b.value);
+    hi = std::max(hi, b.value);
+  }
+  EXPECT_GT(hi - lo, 0.005);
+}
+
+TEST(GoogleTrace, UtilizationBounded) {
+  auto trace = GoogleTrace::generate(quick_config());
+  auto samples = trace.utilization_samples(minutes(5));
+  EXPECT_GE(samples.min(), 0.0);
+  EXPECT_LE(samples.max(), 1.0);
+}
+
+TEST(GoogleTrace, LeadTimeMeanNearTarget) {
+  auto trace = GoogleTrace::generate(quick_config());
+  // Paper: 8.8s mean lead-time.
+  EXPECT_NEAR(trace.mean_lead_time_s(), 8.8, 0.8);
+}
+
+TEST(GoogleTrace, EightyOnePercentHaveSufficientLeadTime) {
+  auto trace = GoogleTrace::generate(quick_config());
+  // Paper Fig 2: 81% of jobs have lead-time >= read-time.
+  EXPECT_NEAR(trace.fraction_with_sufficient_lead_time(), 0.81, 0.03);
+}
+
+TEST(GoogleTrace, RatioSamplesMatchFraction) {
+  auto trace = GoogleTrace::generate(quick_config());
+  auto ratios = trace.lead_to_read_ratios();
+  const double frac_ge_one = 1.0 - ratios.cdf_at(1.0 - 1e-12);
+  EXPECT_NEAR(frac_ge_one, trace.fraction_with_sufficient_lead_time(), 0.01);
+}
+
+}  // namespace
+}  // namespace dyrs::wl

@@ -1,0 +1,120 @@
+#include "workloads/tpcds.h"
+
+#include <gtest/gtest.h>
+
+namespace dyrs::wl {
+namespace {
+
+exec::TestbedConfig quick_config(exec::Scheme scheme) {
+  exec::TestbedConfig c;
+  c.num_nodes = 4;
+  c.disk_bandwidth = mib_per_sec(128);
+  c.seek_alpha = 0.0;
+  c.block_size = mib(128);
+  c.scheme = scheme;
+  c.master.slave.reference_block = mib(128);
+  return c;
+}
+
+TEST(Tpcds, TenQueriesWithIncreasingSizes) {
+  auto qs = tpcds_queries();
+  ASSERT_EQ(qs.size(), 10u);
+  for (std::size_t i = 1; i < qs.size(); ++i) {
+    EXPECT_GE(qs[i].table_size, qs[i - 1].table_size);
+  }
+  EXPECT_EQ(qs.back().name, "q27");
+}
+
+TEST(Tpcds, ScaleMultipliesSizes) {
+  auto base = tpcds_queries(1.0);
+  auto half = tpcds_queries(0.5);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(half[i].table_size),
+                static_cast<double>(base[i].table_size) / 2.0,
+                static_cast<double>(mib(1)));
+  }
+}
+
+TEST(Tpcds, SingleQueryRunsAllStages) {
+  exec::Testbed tb(quick_config(exec::Scheme::Hdfs));
+  QueryRunner runner(tb);
+  auto qs = tpcds_queries(0.1);  // small for test speed
+  QueryResult result;
+  bool done = false;
+  runner.run(qs[0], [&](const QueryResult& r) {
+    result = r;
+    done = true;
+  });
+  tb.run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(result.duration_s(), 0.0);
+  // Two stages ran as two jobs.
+  EXPECT_EQ(tb.metrics().jobs().size(), 2u);
+  // Intermediate file was materialized.
+  EXPECT_GT(tb.namenode().ns().file_count(), 1u);
+}
+
+TEST(Tpcds, StageChainShrinksData) {
+  exec::Testbed tb(quick_config(exec::Scheme::Hdfs));
+  QueryRunner runner(tb);
+  auto qs = tpcds_queries(0.2);
+  bool done = false;
+  runner.run(qs[5], [&](const QueryResult&) { done = true; });
+  tb.run();
+  ASSERT_TRUE(done);
+  const auto& jobs = tb.metrics().jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_LT(jobs[1].input_size, jobs[0].input_size / 4);
+}
+
+TEST(Tpcds, OnlyFirstStageMigrates) {
+  exec::Testbed tb(quick_config(exec::Scheme::Dyrs));
+  QueryRunner runner(tb);
+  auto qs = tpcds_queries(0.1);
+  bool done = false;
+  runner.run(qs[0], [&](const QueryResult&) { done = true; });
+  tb.run();
+  ASSERT_TRUE(done);
+  // Migrated bytes never exceed the table size (stage-2 intermediates are
+  // not migrated).
+  EXPECT_LE(tb.master()->bytes_migrated(),
+            static_cast<double>(qs[0].table_size) + 1.0);
+}
+
+TEST(Tpcds, SuiteRunsSequentially) {
+  exec::Testbed tb(quick_config(exec::Scheme::Hdfs));
+  auto qs = tpcds_queries(0.05);
+  qs.resize(3);
+  exec::JobSpec base;
+  base.platform_overhead = seconds(2);
+  auto results = QueryRunner::run_suite(tb, qs, base);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i].submitted, results[i - 1].finished);
+  }
+}
+
+TEST(Tpcds, DyrsAcceleratesQueries) {
+  // End-to-end sanity: with ample lead-time DYRS beats HDFS on the same
+  // query. (The full Fig 4 comparison lives in the bench.)
+  auto qs = tpcds_queries(0.2);
+  double hdfs_s = 0, dyrs_s = 0;
+  for (auto scheme : {exec::Scheme::Hdfs, exec::Scheme::Dyrs}) {
+    exec::Testbed tb(quick_config(scheme));
+    QueryRunner runner(tb);
+    runner.base_spec.platform_overhead = seconds(8);
+    bool done = false;
+    QueryResult result;
+    runner.run(qs[2], [&](const QueryResult& r) {
+      result = r;
+      done = true;
+    });
+    tb.run();
+    ASSERT_TRUE(done);
+    (scheme == exec::Scheme::Hdfs ? hdfs_s : dyrs_s) = result.duration_s();
+  }
+  EXPECT_LT(dyrs_s, hdfs_s);
+}
+
+}  // namespace
+}  // namespace dyrs::wl

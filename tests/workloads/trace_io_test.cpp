@@ -1,0 +1,118 @@
+#include "workloads/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dyrs::wl {
+namespace {
+
+TEST(TraceIo, SplitCsvLineBasic) {
+  auto cells = split_csv_line("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(TraceIo, SplitCsvLineQuoted) {
+  auto cells = split_csv_line("\"with,comma\",\"with\"\"quote\",plain");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "with,comma");
+  EXPECT_EQ(cells[1], "with\"quote");
+  EXPECT_EQ(cells[2], "plain");
+}
+
+TEST(TraceIo, SplitCsvLineEmptyCells) {
+  auto cells = split_csv_line(",,");
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& c : cells) EXPECT_TRUE(c.empty());
+}
+
+TEST(TraceIo, SwimRoundTrip) {
+  auto workload = SwimWorkload::generate({});
+  std::stringstream buffer;
+  write_swim_csv(workload.jobs(), buffer);
+  auto loaded = read_swim_csv(buffer);
+  ASSERT_EQ(loaded.size(), workload.jobs().size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, workload.jobs()[i].name);
+    EXPECT_EQ(loaded[i].file, workload.jobs()[i].file);
+    EXPECT_EQ(loaded[i].input, workload.jobs()[i].input);
+    EXPECT_EQ(loaded[i].shuffle, workload.jobs()[i].shuffle);
+    EXPECT_EQ(loaded[i].output, workload.jobs()[i].output);
+    EXPECT_EQ(loaded[i].submit_at, workload.jobs()[i].submit_at);
+    EXPECT_EQ(loaded[i].reducers, workload.jobs()[i].reducers);
+  }
+}
+
+TEST(TraceIo, ReadRejectsMissingHeader) {
+  std::stringstream buffer("job-0,/f,1,0,0,0,0\n");
+  EXPECT_THROW(read_swim_csv(buffer), CheckError);
+}
+
+TEST(TraceIo, ReadRejectsWrongArity) {
+  std::stringstream buffer("name,file,input,shuffle,output,submit_us,reducers\nx,/f,1,2\n");
+  EXPECT_THROW(read_swim_csv(buffer), CheckError);
+}
+
+TEST(TraceIo, ReadRejectsNonNumeric) {
+  std::stringstream buffer(
+      "name,file,input,shuffle,output,submit_us,reducers\nx,/f,abc,0,0,0,0\n");
+  EXPECT_THROW(read_swim_csv(buffer), CheckError);
+}
+
+TEST(TraceIo, ReadRejectsNonPositiveInput) {
+  std::stringstream buffer(
+      "name,file,input,shuffle,output,submit_us,reducers\nx,/f,0,0,0,0,0\n");
+  EXPECT_THROW(read_swim_csv(buffer), CheckError);
+}
+
+TEST(TraceIo, ReadSkipsBlankLines) {
+  std::stringstream buffer(
+      "name,file,input,shuffle,output,submit_us,reducers\n\nx,/f,10,0,0,0,0\n\n");
+  auto jobs = read_swim_csv(buffer);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].input, 10);
+}
+
+TEST(TraceIo, JobMetricsCsvHasHeaderAndRows) {
+  exec::Metrics metrics;
+  exec::JobRecord j;
+  j.id = JobId(0);
+  j.name = "j0";
+  j.input_size = mib(64);
+  j.submitted = seconds(1);
+  j.finished = seconds(11);
+  metrics.add_job(j);
+  std::stringstream buffer;
+  write_job_metrics_csv(metrics, buffer);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(buffer, header));
+  ASSERT_TRUE(std::getline(buffer, row));
+  EXPECT_NE(header.find("duration_s"), std::string::npos);
+  EXPECT_NE(row.find("j0"), std::string::npos);
+  EXPECT_NE(row.find("10"), std::string::npos);  // duration
+}
+
+TEST(TraceIo, TaskMetricsCsvHasMedium) {
+  exec::Metrics metrics;
+  exec::TaskRecord t;
+  t.id = TaskId(3);
+  t.job = JobId(1);
+  t.phase = exec::TaskPhase::Map;
+  t.node = NodeId(2);
+  t.medium = dfs::ReadMedium::RemoteMemory;
+  t.input = mib(64);
+  t.started = 0;
+  t.finished = seconds(2);
+  metrics.add_task(t);
+  std::stringstream buffer;
+  write_task_metrics_csv(metrics, buffer);
+  EXPECT_NE(buffer.str().find("remote-memory"), std::string::npos);
+  EXPECT_NE(buffer.str().find("map"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyrs::wl
