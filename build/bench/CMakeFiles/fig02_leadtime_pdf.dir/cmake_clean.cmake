@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_leadtime_pdf.dir/fig02_leadtime_pdf.cpp.o"
+  "CMakeFiles/fig02_leadtime_pdf.dir/fig02_leadtime_pdf.cpp.o.d"
+  "fig02_leadtime_pdf"
+  "fig02_leadtime_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_leadtime_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_util_cdf.dir/fig03_util_cdf.cpp.o"
+  "CMakeFiles/fig03_util_cdf.dir/fig03_util_cdf.cpp.o.d"
+  "fig03_util_cdf"
+  "fig03_util_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_util_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

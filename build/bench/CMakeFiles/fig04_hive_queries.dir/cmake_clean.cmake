@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_hive_queries.dir/fig04_hive_queries.cpp.o"
+  "CMakeFiles/fig04_hive_queries.dir/fig04_hive_queries.cpp.o.d"
+  "fig04_hive_queries"
+  "fig04_hive_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_hive_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

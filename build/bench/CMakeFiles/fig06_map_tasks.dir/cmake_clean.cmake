@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_map_tasks.dir/fig06_map_tasks.cpp.o"
+  "CMakeFiles/fig06_map_tasks.dir/fig06_map_tasks.cpp.o.d"
+  "fig06_map_tasks"
+  "fig06_map_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_map_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

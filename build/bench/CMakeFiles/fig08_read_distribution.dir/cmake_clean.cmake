@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_read_distribution.dir/fig08_read_distribution.cpp.o"
+  "CMakeFiles/fig08_read_distribution.dir/fig08_read_distribution.cpp.o.d"
+  "fig08_read_distribution"
+  "fig08_read_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_read_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_adaptivity.dir/fig09_adaptivity.cpp.o"
+  "CMakeFiles/fig09_adaptivity.dir/fig09_adaptivity.cpp.o.d"
+  "fig09_adaptivity"
+  "fig09_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

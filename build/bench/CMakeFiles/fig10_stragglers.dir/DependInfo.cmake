@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_stragglers.cpp" "bench/CMakeFiles/fig10_stragglers.dir/fig10_stragglers.cpp.o" "gcc" "bench/CMakeFiles/fig10_stragglers.dir/fig10_stragglers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dyrs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dyrs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dyrs/CMakeFiles/dyrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dyrs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dyrs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyrs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_stragglers.dir/fig10_stragglers.cpp.o"
+  "CMakeFiles/fig10_stragglers.dir/fig10_stragglers.cpp.o.d"
+  "fig10_stragglers"
+  "fig10_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

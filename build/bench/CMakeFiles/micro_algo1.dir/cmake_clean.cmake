@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_algo1.dir/micro_algo1.cpp.o"
+  "CMakeFiles/micro_algo1.dir/micro_algo1.cpp.o.d"
+  "micro_algo1"
+  "micro_algo1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_algo1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

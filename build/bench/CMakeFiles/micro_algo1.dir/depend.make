@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_algo1.
+# This may be replaced when dependencies are built.

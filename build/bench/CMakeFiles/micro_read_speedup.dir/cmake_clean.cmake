@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_read_speedup.dir/micro_read_speedup.cpp.o"
+  "CMakeFiles/micro_read_speedup.dir/micro_read_speedup.cpp.o.d"
+  "micro_read_speedup"
+  "micro_read_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_read_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrsctl.dir/dyrsctl.cpp.o"
+  "CMakeFiles/dyrsctl.dir/dyrsctl.cpp.o.d"
+  "dyrsctl"
+  "dyrsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_query_demo.dir/hive_query_demo.cpp.o"
+  "CMakeFiles/hive_query_demo.dir/hive_query_demo.cpp.o.d"
+  "hive_query_demo"
+  "hive_query_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_query_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

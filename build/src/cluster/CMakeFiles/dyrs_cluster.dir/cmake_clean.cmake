@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_cluster.dir/disk.cpp.o"
+  "CMakeFiles/dyrs_cluster.dir/disk.cpp.o.d"
+  "libdyrs_cluster.a"
+  "libdyrs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_common.dir/log.cpp.o"
+  "CMakeFiles/dyrs_common.dir/log.cpp.o.d"
+  "CMakeFiles/dyrs_common.dir/summary.cpp.o"
+  "CMakeFiles/dyrs_common.dir/summary.cpp.o.d"
+  "CMakeFiles/dyrs_common.dir/table.cpp.o"
+  "CMakeFiles/dyrs_common.dir/table.cpp.o.d"
+  "CMakeFiles/dyrs_common.dir/timeseries.cpp.o"
+  "CMakeFiles/dyrs_common.dir/timeseries.cpp.o.d"
+  "libdyrs_common.a"
+  "libdyrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/client.cpp" "src/dfs/CMakeFiles/dyrs_dfs.dir/client.cpp.o" "gcc" "src/dfs/CMakeFiles/dyrs_dfs.dir/client.cpp.o.d"
+  "/root/repo/src/dfs/datanode.cpp" "src/dfs/CMakeFiles/dyrs_dfs.dir/datanode.cpp.o" "gcc" "src/dfs/CMakeFiles/dyrs_dfs.dir/datanode.cpp.o.d"
+  "/root/repo/src/dfs/namenode.cpp" "src/dfs/CMakeFiles/dyrs_dfs.dir/namenode.cpp.o" "gcc" "src/dfs/CMakeFiles/dyrs_dfs.dir/namenode.cpp.o.d"
+  "/root/repo/src/dfs/namespace.cpp" "src/dfs/CMakeFiles/dyrs_dfs.dir/namespace.cpp.o" "gcc" "src/dfs/CMakeFiles/dyrs_dfs.dir/namespace.cpp.o.d"
+  "/root/repo/src/dfs/placement.cpp" "src/dfs/CMakeFiles/dyrs_dfs.dir/placement.cpp.o" "gcc" "src/dfs/CMakeFiles/dyrs_dfs.dir/placement.cpp.o.d"
+  "/root/repo/src/dfs/topology.cpp" "src/dfs/CMakeFiles/dyrs_dfs.dir/topology.cpp.o" "gcc" "src/dfs/CMakeFiles/dyrs_dfs.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dyrs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_dfs.dir/client.cpp.o"
+  "CMakeFiles/dyrs_dfs.dir/client.cpp.o.d"
+  "CMakeFiles/dyrs_dfs.dir/datanode.cpp.o"
+  "CMakeFiles/dyrs_dfs.dir/datanode.cpp.o.d"
+  "CMakeFiles/dyrs_dfs.dir/namenode.cpp.o"
+  "CMakeFiles/dyrs_dfs.dir/namenode.cpp.o.d"
+  "CMakeFiles/dyrs_dfs.dir/namespace.cpp.o"
+  "CMakeFiles/dyrs_dfs.dir/namespace.cpp.o.d"
+  "CMakeFiles/dyrs_dfs.dir/placement.cpp.o"
+  "CMakeFiles/dyrs_dfs.dir/placement.cpp.o.d"
+  "CMakeFiles/dyrs_dfs.dir/topology.cpp.o"
+  "CMakeFiles/dyrs_dfs.dir/topology.cpp.o.d"
+  "libdyrs_dfs.a"
+  "libdyrs_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dyrs/buffer_manager.cpp" "src/dyrs/CMakeFiles/dyrs_core.dir/buffer_manager.cpp.o" "gcc" "src/dyrs/CMakeFiles/dyrs_core.dir/buffer_manager.cpp.o.d"
+  "/root/repo/src/dyrs/master.cpp" "src/dyrs/CMakeFiles/dyrs_core.dir/master.cpp.o" "gcc" "src/dyrs/CMakeFiles/dyrs_core.dir/master.cpp.o.d"
+  "/root/repo/src/dyrs/oracle.cpp" "src/dyrs/CMakeFiles/dyrs_core.dir/oracle.cpp.o" "gcc" "src/dyrs/CMakeFiles/dyrs_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/dyrs/replica_selector.cpp" "src/dyrs/CMakeFiles/dyrs_core.dir/replica_selector.cpp.o" "gcc" "src/dyrs/CMakeFiles/dyrs_core.dir/replica_selector.cpp.o.d"
+  "/root/repo/src/dyrs/slave.cpp" "src/dyrs/CMakeFiles/dyrs_core.dir/slave.cpp.o" "gcc" "src/dyrs/CMakeFiles/dyrs_core.dir/slave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/CMakeFiles/dyrs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dyrs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

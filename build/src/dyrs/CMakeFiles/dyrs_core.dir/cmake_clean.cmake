@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_core.dir/buffer_manager.cpp.o"
+  "CMakeFiles/dyrs_core.dir/buffer_manager.cpp.o.d"
+  "CMakeFiles/dyrs_core.dir/master.cpp.o"
+  "CMakeFiles/dyrs_core.dir/master.cpp.o.d"
+  "CMakeFiles/dyrs_core.dir/oracle.cpp.o"
+  "CMakeFiles/dyrs_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/dyrs_core.dir/replica_selector.cpp.o"
+  "CMakeFiles/dyrs_core.dir/replica_selector.cpp.o.d"
+  "CMakeFiles/dyrs_core.dir/slave.cpp.o"
+  "CMakeFiles/dyrs_core.dir/slave.cpp.o.d"
+  "libdyrs_core.a"
+  "libdyrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_exec.dir/engine.cpp.o"
+  "CMakeFiles/dyrs_exec.dir/engine.cpp.o.d"
+  "CMakeFiles/dyrs_exec.dir/metrics.cpp.o"
+  "CMakeFiles/dyrs_exec.dir/metrics.cpp.o.d"
+  "CMakeFiles/dyrs_exec.dir/testbed.cpp.o"
+  "CMakeFiles/dyrs_exec.dir/testbed.cpp.o.d"
+  "libdyrs_exec.a"
+  "libdyrs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_rt.dir/master.cpp.o"
+  "CMakeFiles/dyrs_rt.dir/master.cpp.o.d"
+  "CMakeFiles/dyrs_rt.dir/slave.cpp.o"
+  "CMakeFiles/dyrs_rt.dir/slave.cpp.o.d"
+  "libdyrs_rt.a"
+  "libdyrs_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_sim.dir/fair_share.cpp.o"
+  "CMakeFiles/dyrs_sim.dir/fair_share.cpp.o.d"
+  "CMakeFiles/dyrs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dyrs_sim.dir/simulator.cpp.o.d"
+  "libdyrs_sim.a"
+  "libdyrs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

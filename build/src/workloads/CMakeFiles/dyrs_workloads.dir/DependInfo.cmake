@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/google_trace.cpp" "src/workloads/CMakeFiles/dyrs_workloads.dir/google_trace.cpp.o" "gcc" "src/workloads/CMakeFiles/dyrs_workloads.dir/google_trace.cpp.o.d"
+  "/root/repo/src/workloads/swim.cpp" "src/workloads/CMakeFiles/dyrs_workloads.dir/swim.cpp.o" "gcc" "src/workloads/CMakeFiles/dyrs_workloads.dir/swim.cpp.o.d"
+  "/root/repo/src/workloads/tpcds.cpp" "src/workloads/CMakeFiles/dyrs_workloads.dir/tpcds.cpp.o" "gcc" "src/workloads/CMakeFiles/dyrs_workloads.dir/tpcds.cpp.o.d"
+  "/root/repo/src/workloads/trace_io.cpp" "src/workloads/CMakeFiles/dyrs_workloads.dir/trace_io.cpp.o" "gcc" "src/workloads/CMakeFiles/dyrs_workloads.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/dyrs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dyrs/CMakeFiles/dyrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dyrs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dyrs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyrs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

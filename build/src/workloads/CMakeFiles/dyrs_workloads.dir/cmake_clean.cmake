@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_workloads.dir/google_trace.cpp.o"
+  "CMakeFiles/dyrs_workloads.dir/google_trace.cpp.o.d"
+  "CMakeFiles/dyrs_workloads.dir/swim.cpp.o"
+  "CMakeFiles/dyrs_workloads.dir/swim.cpp.o.d"
+  "CMakeFiles/dyrs_workloads.dir/tpcds.cpp.o"
+  "CMakeFiles/dyrs_workloads.dir/tpcds.cpp.o.d"
+  "CMakeFiles/dyrs_workloads.dir/trace_io.cpp.o"
+  "CMakeFiles/dyrs_workloads.dir/trace_io.cpp.o.d"
+  "libdyrs_workloads.a"
+  "libdyrs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

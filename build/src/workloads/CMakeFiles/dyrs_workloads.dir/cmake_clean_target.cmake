@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdyrs_workloads.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dfs/client_test.cpp" "tests/CMakeFiles/dfs_test.dir/dfs/client_test.cpp.o" "gcc" "tests/CMakeFiles/dfs_test.dir/dfs/client_test.cpp.o.d"
+  "/root/repo/tests/dfs/heartbeat_test.cpp" "tests/CMakeFiles/dfs_test.dir/dfs/heartbeat_test.cpp.o" "gcc" "tests/CMakeFiles/dfs_test.dir/dfs/heartbeat_test.cpp.o.d"
+  "/root/repo/tests/dfs/namenode_test.cpp" "tests/CMakeFiles/dfs_test.dir/dfs/namenode_test.cpp.o" "gcc" "tests/CMakeFiles/dfs_test.dir/dfs/namenode_test.cpp.o.d"
+  "/root/repo/tests/dfs/namespace_test.cpp" "tests/CMakeFiles/dfs_test.dir/dfs/namespace_test.cpp.o" "gcc" "tests/CMakeFiles/dfs_test.dir/dfs/namespace_test.cpp.o.d"
+  "/root/repo/tests/dfs/placement_test.cpp" "tests/CMakeFiles/dfs_test.dir/dfs/placement_test.cpp.o" "gcc" "tests/CMakeFiles/dfs_test.dir/dfs/placement_test.cpp.o.d"
+  "/root/repo/tests/dfs/rereplication_test.cpp" "tests/CMakeFiles/dfs_test.dir/dfs/rereplication_test.cpp.o" "gcc" "tests/CMakeFiles/dfs_test.dir/dfs/rereplication_test.cpp.o.d"
+  "/root/repo/tests/dfs/topology_test.cpp" "tests/CMakeFiles/dfs_test.dir/dfs/topology_test.cpp.o" "gcc" "tests/CMakeFiles/dfs_test.dir/dfs/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dyrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dyrs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dyrs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyrs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_test.dir/dfs/client_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs/client_test.cpp.o.d"
+  "CMakeFiles/dfs_test.dir/dfs/heartbeat_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs/heartbeat_test.cpp.o.d"
+  "CMakeFiles/dfs_test.dir/dfs/namenode_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs/namenode_test.cpp.o.d"
+  "CMakeFiles/dfs_test.dir/dfs/namespace_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs/namespace_test.cpp.o.d"
+  "CMakeFiles/dfs_test.dir/dfs/placement_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs/placement_test.cpp.o.d"
+  "CMakeFiles/dfs_test.dir/dfs/rereplication_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs/rereplication_test.cpp.o.d"
+  "CMakeFiles/dfs_test.dir/dfs/topology_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs/topology_test.cpp.o.d"
+  "dfs_test"
+  "dfs_test.pdb"
+  "dfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

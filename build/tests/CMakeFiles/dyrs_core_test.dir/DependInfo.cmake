@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dyrs/buffer_manager_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/buffer_manager_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/buffer_manager_test.cpp.o.d"
+  "/root/repo/tests/dyrs/estimator_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/estimator_test.cpp.o.d"
+  "/root/repo/tests/dyrs/master_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/master_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/master_test.cpp.o.d"
+  "/root/repo/tests/dyrs/oracle_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/oracle_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/oracle_test.cpp.o.d"
+  "/root/repo/tests/dyrs/overdue_ablation_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/overdue_ablation_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/overdue_ablation_test.cpp.o.d"
+  "/root/repo/tests/dyrs/replica_selector_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/replica_selector_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/replica_selector_test.cpp.o.d"
+  "/root/repo/tests/dyrs/slave_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/slave_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/slave_test.cpp.o.d"
+  "/root/repo/tests/dyrs/strategies_test.cpp" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/strategies_test.cpp.o" "gcc" "tests/CMakeFiles/dyrs_core_test.dir/dyrs/strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dyrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dyrs/CMakeFiles/dyrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dyrs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dyrs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyrs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyrs_core_test.dir/dyrs/buffer_manager_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/buffer_manager_test.cpp.o.d"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/estimator_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/estimator_test.cpp.o.d"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/master_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/master_test.cpp.o.d"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/oracle_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/oracle_test.cpp.o.d"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/overdue_ablation_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/overdue_ablation_test.cpp.o.d"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/replica_selector_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/replica_selector_test.cpp.o.d"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/slave_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/slave_test.cpp.o.d"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/strategies_test.cpp.o"
+  "CMakeFiles/dyrs_core_test.dir/dyrs/strategies_test.cpp.o.d"
+  "dyrs_core_test"
+  "dyrs_core_test.pdb"
+  "dyrs_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyrs_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

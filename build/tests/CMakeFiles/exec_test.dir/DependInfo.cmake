@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/engine_test.cpp" "tests/CMakeFiles/exec_test.dir/exec/engine_test.cpp.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/engine_test.cpp.o.d"
+  "/root/repo/tests/exec/metrics_test.cpp" "tests/CMakeFiles/exec_test.dir/exec/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/metrics_test.cpp.o.d"
+  "/root/repo/tests/exec/output_replication_test.cpp" "tests/CMakeFiles/exec_test.dir/exec/output_replication_test.cpp.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/output_replication_test.cpp.o.d"
+  "/root/repo/tests/exec/speculation_test.cpp" "tests/CMakeFiles/exec_test.dir/exec/speculation_test.cpp.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/speculation_test.cpp.o.d"
+  "/root/repo/tests/exec/testbed_test.cpp" "tests/CMakeFiles/exec_test.dir/exec/testbed_test.cpp.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/testbed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dyrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dyrs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dyrs/CMakeFiles/dyrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dyrs_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dyrs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyrs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
