@@ -26,6 +26,7 @@ class Disk {
 
   Disk(sim::Simulator& sim, Options opts)
       : opts_(opts),
+        nominal_(opts.bandwidth),
         resource_(sim, {.name = opts.name, .capacity = opts.bandwidth,
                         .seek_alpha = opts.seek_alpha}) {}
 
@@ -46,7 +47,21 @@ class Disk {
   int active_interference() const { return resource_.active_interference_flows(); }
 
   Rate bandwidth() const { return resource_.capacity(); }
-  void set_bandwidth(Rate bw) { resource_.set_capacity(bw); }
+  void set_bandwidth(Rate bw) {
+    nominal_ = bw;
+    resource_.set_capacity(bw * degradation_);
+  }
+
+  /// Multiplicative bandwidth degradation episode (fault injection): the
+  /// effective capacity becomes nominal * factor until restored with
+  /// factor 1.0. Kept separate from set_bandwidth so the nominal rate
+  /// survives the episode.
+  void set_degradation(double factor) {
+    degradation_ = factor;
+    resource_.set_capacity(nominal_ * factor);
+  }
+  double degradation() const { return degradation_; }
+  Rate nominal_bandwidth() const { return nominal_; }
 
   /// Unloaded sequential read time for `bytes` — sizing input for slave
   /// migration queues (paper §III-B).
@@ -60,6 +75,8 @@ class Disk {
 
  private:
   Options opts_;
+  Rate nominal_;
+  double degradation_ = 1.0;
   sim::FairShareResource resource_;
   double bytes_by_class_[4] = {0, 0, 0, 0};
   long ios_by_class_[4] = {0, 0, 0, 0};

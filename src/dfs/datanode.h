@@ -31,6 +31,13 @@ class DataNode {
   bool serving() const { return node_.alive() && process_alive_; }
   bool process_alive() const { return process_alive_; }
 
+  /// Network partition between this node and the namenode: the process and
+  /// server stay up (local state survives) but heartbeats stop flowing, so
+  /// the namenode eventually declares the node dead and the migration
+  /// master reclaims work bound to it. Heals without losing buffers.
+  bool partitioned() const { return partitioned_; }
+  void set_partitioned(bool partitioned) { partitioned_ = partitioned; }
+
   /// Crashes the datanode process. `on_process_crash` (the DYRS slave's
   /// cleanup) runs immediately: buffers are reclaimed by the OS.
   void crash_process() {
@@ -44,6 +51,11 @@ class DataNode {
   /// Hook installed by the migration slave to drop soft state on crash.
   std::function<void()> on_process_crash;
 
+  /// Fault-injection hook consulted when a migration read completes: a
+  /// `true` return means the read hit an I/O error and the migration must
+  /// retry (or give up and report a permanent failure). Unset = no faults.
+  std::function<bool()> migration_read_fault;
+
   /// Reads `bytes` of `block` from the local disk. Asserts the replica
   /// exists — callers route via NameNode::block_locations first.
   cluster::Disk::FlowId read_from_disk(BlockId block, Bytes bytes, cluster::IoClass io_class,
@@ -53,6 +65,7 @@ class DataNode {
   cluster::Node& node_;
   std::unordered_set<BlockId> stored_;
   bool process_alive_ = true;
+  bool partitioned_ = false;
 };
 
 }  // namespace dyrs::dfs

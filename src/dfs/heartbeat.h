@@ -17,7 +17,7 @@ class HeartbeatDriver {
       : datanodes_(std::move(datanodes)) {
     timer_ = sim.every(namenode.options().heartbeat_interval, [this, &namenode]() {
       for (DataNode* dn : datanodes_) {
-        if (dn->serving()) namenode.heartbeat(dn->id());
+        if (dn->serving() && !dn->partitioned()) namenode.heartbeat(dn->id());
       }
     });
   }

@@ -201,4 +201,14 @@ std::size_t NameNode::memory_replica_count() const {
   return n;
 }
 
+std::vector<std::pair<BlockId, NodeId>> NameNode::memory_replica_entries() const {
+  std::vector<std::pair<BlockId, NodeId>> out;
+  out.reserve(memory_replica_count());
+  for (const auto& [block, nodes] : memory_) {
+    for (NodeId n : nodes) out.emplace_back(block, n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace dyrs::dfs

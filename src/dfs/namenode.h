@@ -88,6 +88,10 @@ class NameNode {
   std::vector<NodeId> memory_locations(BlockId block) const;
   bool in_memory(BlockId block) const { return !memory_locations(block).empty(); }
   std::size_t memory_replica_count() const;
+  /// Every registered (block, node) in-memory replica pair, unfiltered and
+  /// in deterministic order — the invariant checker cross-checks each entry
+  /// against the slave that supposedly buffers it.
+  std::vector<std::pair<BlockId, NodeId>> memory_replica_entries() const;
 
   sim::Simulator& simulator() { return sim_; }
   const Options& options() const { return opts_; }

@@ -18,6 +18,9 @@ MigrationMaster::MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namen
     callbacks.on_evicted = [this](NodeId node, const std::vector<BlockId>& blocks) {
       handle_evicted(node, blocks);
     };
+    callbacks.on_failed = [this](NodeId node, BoundMigration m) {
+      handle_migration_failed(node, std::move(m));
+    };
     auto slave = std::make_unique<MigrationSlave>(cluster_.simulator(), *dn, config_.slave,
                                                   std::move(callbacks));
     dn->on_process_crash = [this, id]() { handle_slave_crash(id); };
@@ -65,7 +68,13 @@ const TimeSeries& MigrationMaster::estimate_series(NodeId id) const {
 }
 
 void MigrationMaster::set_job_active_query(std::function<bool(JobId)> q) {
+  job_active_ = q;  // requeue paths skip migrations whose jobs finished
   for (auto& [id, slave] : slaves_) slave->job_active_query = q;
+}
+
+bool MigrationMaster::reachable(NodeId id, const MigrationSlave& slave) const {
+  const dfs::DataNode& dn = slave.datanode();
+  return dn.serving() && !dn.partitioned() && namenode_.available(id);
 }
 
 void MigrationMaster::migrate_files(JobId job, const std::vector<std::string>& files,
@@ -85,7 +94,8 @@ void MigrationMaster::migrate_blocks(JobId job, const std::vector<BlockId>& bloc
   }
 }
 
-void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode) {
+void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode,
+                                  const std::vector<NodeId>& avoid) {
   // Already in memory somewhere: only add references.
   const auto memory_nodes = namenode_.memory_locations(block);
   if (!memory_nodes.empty()) {
@@ -103,6 +113,12 @@ void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode) {
   auto pit = pending_index_.find(block);
   if (pit != pending_index_.end()) {
     pit->second->jobs[job] = mode;
+    for (NodeId n : avoid) {
+      if (std::find(pit->second->avoid.begin(), pit->second->avoid.end(), n) ==
+          pit->second->avoid.end()) {
+        pit->second->avoid.push_back(n);
+      }
+    }
     return;
   }
   PendingMigration pm;
@@ -110,6 +126,7 @@ void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode) {
   pm.size = namenode_.ns().block(block).size;
   pm.jobs[job] = mode;
   pm.replicas = namenode_.raw_replicas(block);
+  pm.avoid = avoid;
   pm.requested_at = cluster_.simulator().now();
   pending_.push_back(std::move(pm));
   pending_index_[block] = std::prev(pending_.end());
@@ -122,8 +139,9 @@ void MigrationMaster::eager_bind_all() {
     auto it = pending_.begin();
     std::vector<NodeId> candidates;
     for (NodeId n : it->replicas) {
+      if (std::find(it->avoid.begin(), it->avoid.end(), n) != it->avoid.end()) continue;
       auto sit = slaves_.find(n);
-      if (sit != slaves_.end() && sit->second->datanode().serving()) candidates.push_back(n);
+      if (sit != slaves_.end() && reachable(n, *sit->second)) candidates.push_back(n);
     }
     if (candidates.empty()) {
       pending_index_.erase(it->block);
@@ -141,7 +159,7 @@ void MigrationMaster::retarget_now() {
   std::vector<SlaveSnapshot> snapshots;
   snapshots.reserve(slaves_.size());
   for (auto& [id, slave] : slaves_) {
-    if (!slave->datanode().serving()) continue;
+    if (!reachable(id, *slave)) continue;
     snapshots.push_back({.node = id,
                          .sec_per_byte = slave->estimator().per_byte_estimate(),
                          .queued_bytes = slave->bound_bytes()});
@@ -159,7 +177,13 @@ void MigrationMaster::retarget_now() {
 
 void MigrationMaster::pulse() {
   for (auto& [id, slave] : slaves_) {
-    if (!slave->datanode().serving()) continue;
+    if (!reachable(id, *slave)) {
+      // Once the namenode declares the node dead (heartbeat loss: silent
+      // death or partition), work bound there moves back to pending and is
+      // retargeted at a surviving replica rather than waiting forever.
+      if (!namenode_.available(id)) reclaim_bound_on(id, CancelReason::HeartbeatLoss);
+      continue;
+    }
     slave->heartbeat();
     estimate_series_.at(id).record(cluster_.simulator().now(),
                                    slave->estimator().seconds_per_block());
@@ -206,7 +230,9 @@ void MigrationMaster::pull_for(MigrationSlave& slave) {
     const bool eligible =
         targeted ? (cur->target == slave.id())
                  : std::find(cur->replicas.begin(), cur->replicas.end(), slave.id()) !=
-                       cur->replicas.end();
+                           cur->replicas.end() &&
+                       std::find(cur->avoid.begin(), cur->avoid.end(), slave.id()) ==
+                           cur->avoid.end();
     if (!eligible) continue;
     bind(cur, slave);
     --free;
@@ -218,15 +244,27 @@ void MigrationMaster::bind(std::list<PendingMigration>::iterator it, MigrationSl
   bm.block = it->block;
   bm.size = it->size;
   bm.jobs = it->jobs;
+  bm.avoid = it->avoid;
   bm.bound_at = cluster_.simulator().now();
-  bound_[it->block] = slave.id();
-  pending_index_.erase(it->block);
+  const BlockId block = it->block;
+  pending_index_.erase(block);
   pending_.erase(it);
-  slave.enqueue(std::move(bm));
+  if (slave.enqueue(std::move(bm))) {
+    bound_[block] = slave.id();
+  } else {
+    // The block was already buffered there (post-failover rebuild window):
+    // no migration runs, so record the memory replica instead of a binding
+    // that would never complete.
+    namenode_.register_memory_replica(block, slave.id());
+  }
 }
 
 void MigrationMaster::handle_migration_complete(const MigrationRecord& record) {
-  bound_.erase(record.block);
+  // Only clear the binding if it still points at the reporting node: a
+  // partitioned slave may complete work the master meanwhile rebound
+  // elsewhere.
+  auto it = bound_.find(record.block);
+  if (it != bound_.end() && it->second == record.node) bound_.erase(it);
   namenode_.register_memory_replica(record.block, record.node);
   bytes_migrated_ += static_cast<double>(record.size);
   records_.push_back(record);
@@ -239,7 +277,7 @@ void MigrationMaster::handle_evicted(NodeId node, const std::vector<BlockId>& bl
 void MigrationMaster::handle_slave_crash(NodeId node) {
   auto it = slaves_.find(node);
   if (it == slaves_.end()) return;
-  it->second->crash();
+  auto report = it->second->crash();
   // The new slave process directs the master to drop state about blocks
   // previously buffered on that server (§III-C2).
   namenode_.drop_memory_replicas_on(node);
@@ -253,6 +291,77 @@ void MigrationMaster::handle_slave_crash(NodeId node) {
     } else {
       ++bit;
     }
+  }
+  // Migrations that died with the process go back to pending for their
+  // still-active jobs. No avoid entry: the disk replica survives a process
+  // crash, so the node is a valid target again once it restarts.
+  requeue_lost(std::move(report.lost), NodeId::invalid());
+}
+
+void MigrationMaster::handle_migration_failed(NodeId node, BoundMigration m) {
+  auto bit = bound_.find(m.block);
+  if (bit != bound_.end() && bit->second == node) bound_.erase(bit);
+  cancels_.push_back({.block = m.block,
+                      .node = node,
+                      .reason = CancelReason::IoError,
+                      .at = cluster_.simulator().now()});
+  std::vector<BoundMigration> lost;
+  lost.push_back(std::move(m));
+  // The node's disk is returning persistent errors for this block: target a
+  // surviving replica instead.
+  requeue_lost(std::move(lost), node);
+}
+
+void MigrationMaster::reclaim_bound_on(NodeId node, CancelReason reason) {
+  auto sit = slaves_.find(node);
+  if (sit == slaves_.end()) return;
+  std::vector<BoundMigration> lost;
+  for (auto bit = bound_.begin(); bit != bound_.end();) {
+    if (bit->second != node) {
+      ++bit;
+      continue;
+    }
+    // Copy, don't cancel: the master cannot reach the node, so the slave
+    // keeps working. If it is merely partitioned and later completes, the
+    // duplicate migration is benign (handle_migration_complete tolerates a
+    // rebound block).
+    if (const BoundMigration* m = sit->second->local_migration(bit->first)) {
+      lost.push_back(*m);
+    }
+    cancels_.push_back({.block = bit->first,
+                        .node = node,
+                        .reason = reason,
+                        .at = cluster_.simulator().now()});
+    bit = bound_.erase(bit);
+  }
+  requeue_lost(std::move(lost), node);
+}
+
+void MigrationMaster::requeue_lost(std::vector<BoundMigration> lost, NodeId avoid) {
+  bool any = false;
+  for (auto& m : lost) {
+    // The node that just failed joins the history carried through binding,
+    // so repeated requeues steadily narrow the candidate set.
+    std::vector<NodeId> avoid_all = std::move(m.avoid);
+    if (avoid.valid() && std::find(avoid_all.begin(), avoid_all.end(), avoid) == avoid_all.end()) {
+      avoid_all.push_back(avoid);
+    }
+    bool requeued = false;
+    for (const auto& [job, mode] : m.jobs) {
+      if (job_active_ && !job_active_(job)) continue;  // job finished meanwhile
+      add_pending(job, m.block, mode, avoid_all);
+      requeued = true;
+    }
+    if (requeued) {
+      ++requeued_;
+      any = true;
+    }
+  }
+  if (!any) return;
+  if (config_.binding == MasterConfig::Binding::EagerRandom) {
+    eager_bind_all();
+  } else if (config_.binding == MasterConfig::Binding::LateTargeted) {
+    retarget_now();
   }
 }
 
@@ -350,6 +459,33 @@ void MigrationMaster::on_read_completed(BlockId block, JobId job, const dfs::Rea
   auto it = slaves_.find(info.source);
   if (it == slaves_.end()) return;
   it->second->on_block_read(block, job);
+}
+
+std::vector<std::pair<BlockId, NodeId>> MigrationMaster::bound_migrations() const {
+  std::vector<std::pair<BlockId, NodeId>> out;
+  out.reserve(bound_.size());
+  for (const auto& [block, node] : bound_) out.emplace_back(block, node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<BlockId> MigrationMaster::pending_blocks() const {
+  std::vector<BlockId> out;
+  out.reserve(pending_.size());
+  for (const auto& pm : pending_) out.push_back(pm.block);
+  return out;
+}
+
+long MigrationMaster::migration_retries() const {
+  long total = 0;
+  for (const auto& [id, slave] : slaves_) total += slave->retries();
+  return total;
+}
+
+long MigrationMaster::migration_permanent_failures() const {
+  long total = 0;
+  for (const auto& [id, slave] : slaves_) total += slave->permanent_failures();
+  return total;
 }
 
 void MigrationMaster::master_failover() {

@@ -85,6 +85,23 @@ class MigrationMaster final : public MigrationService {
   long migrations_completed() const { return static_cast<long>(records_.size()); }
   double bytes_migrated() const { return bytes_migrated_; }
 
+  // --- failure-handling introspection ------------------------------------
+  /// True between a master failover and the first heartbeat pulse that
+  /// rebuilt the in-memory replica registry from slave reports.
+  bool rebuilding() const { return rebuilding_; }
+  /// Every (block, target node) currently bound but not completed, in
+  /// deterministic order — for the cross-layer invariant checker.
+  std::vector<std::pair<BlockId, NodeId>> bound_migrations() const;
+  /// Blocks currently pending at the master, in FIFO order.
+  std::vector<BlockId> pending_blocks() const;
+  /// Transient I/O errors absorbed by slave-local retries (all slaves).
+  long migration_retries() const;
+  /// Migrations that exhausted a slave's retry budget (all slaves).
+  long migration_permanent_failures() const;
+  /// Migrations returned to pending after a slave crash, heartbeat loss or
+  /// permanent I/O failure instead of being dropped.
+  long migrations_requeued() const { return requeued_; }
+
   /// Forces an immediate Algorithm 1 pass (normally periodic).
   void retarget_now();
 
@@ -96,6 +113,9 @@ class MigrationMaster final : public MigrationService {
  private:
   void pulse();  // per-heartbeat: slave heartbeats, reports, pulls
   void pull_for(MigrationSlave& slave);
+  /// A slave the master can currently exchange messages with: process and
+  /// server up, no partition, and not declared dead by the namenode.
+  bool reachable(NodeId id, const MigrationSlave& slave) const;
   /// Pending entries in binding-consideration order (FIFO, or ascending
   /// outstanding-bytes of the smallest interested job for SJF).
   std::vector<std::list<PendingMigration>::iterator> pending_in_order();
@@ -104,7 +124,16 @@ class MigrationMaster final : public MigrationService {
   void handle_migration_complete(const MigrationRecord& record);
   void handle_evicted(NodeId node, const std::vector<BlockId>& blocks);
   void handle_slave_crash(NodeId node);
-  void add_pending(JobId job, BlockId block, EvictionMode mode);
+  void handle_migration_failed(NodeId node, BoundMigration m);
+  /// Returns bound migrations targeting `node` to the pending list (the
+  /// node stopped heartbeating: partitioned or silently dead).
+  void reclaim_bound_on(NodeId node, CancelReason reason);
+  /// Re-queues lost migrations for their still-active jobs; `avoid` (when
+  /// valid) joins each migration's carried avoid history and is excluded
+  /// from future targeting of those blocks.
+  void requeue_lost(std::vector<BoundMigration> lost, NodeId avoid);
+  void add_pending(JobId job, BlockId block, EvictionMode mode,
+                   const std::vector<NodeId>& avoid = {});
 
   cluster::Cluster& cluster_;
   dfs::NameNode& namenode_;
@@ -121,6 +150,8 @@ class MigrationMaster final : public MigrationService {
   std::unordered_map<NodeId, TimeSeries> estimate_series_;
   double bytes_migrated_ = 0;
   bool rebuilding_ = false;
+  long requeued_ = 0;
+  std::function<bool(JobId)> job_active_;
 
   sim::EventHandle heartbeat_timer_;
   sim::EventHandle retarget_timer_;

@@ -1,5 +1,7 @@
 #include "dyrs/replica_selector.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace dyrs::core {
@@ -25,6 +27,9 @@ TargetingStats assign_targets(std::vector<PendingMigration*>& pending,
     NodeId best = NodeId::invalid();
     double best_finish = 0.0;
     for (NodeId loc : block->replicas) {
+      if (std::find(block->avoid.begin(), block->avoid.end(), loc) != block->avoid.end()) {
+        continue;  // replica returned persistent I/O errors or is unreachable
+      }
       auto it = sec_per_byte.find(loc);
       if (it == sec_per_byte.end()) continue;  // replica host not reporting
       const double finish =

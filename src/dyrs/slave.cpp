@@ -35,17 +35,20 @@ int MigrationSlave::queue_capacity() const {
 }
 
 int MigrationSlave::free_slots() const {
-  return std::max(0, queue_capacity() - queued_count());
+  // Backing-off migrations re-enter the queue when their timer fires, so
+  // they count against the binding capacity too.
+  return std::max(0, queue_capacity() - queued_count() - backoff_count());
 }
 
 Bytes MigrationSlave::bound_bytes() const {
   Bytes total = 0;
   for (const auto& m : queue_) total += m.size;
   for (const auto& [block, a] : active_) total += a.m.size;
+  for (const auto& [block, b] : backoff_) total += b.m.size;
   return total;
 }
 
-void MigrationSlave::enqueue(BoundMigration m) {
+bool MigrationSlave::enqueue(BoundMigration m) {
   DYRS_CHECK_MSG(datanode_.has_block(m.block),
                  "slave " << id() << " asked to migrate non-local block " << m.block);
   DYRS_CHECK_MSG(!has_local_migration(m.block),
@@ -53,16 +56,27 @@ void MigrationSlave::enqueue(BoundMigration m) {
   if (buffers_.contains(m.block)) {
     // Already in memory (another job migrated it earlier): just reference.
     buffers_.add_refs(m.block, m.jobs);
-    return;
+    return false;
   }
   queue_.push_back(std::move(m));
   maybe_start();
+  return true;
 }
 
 bool MigrationSlave::has_local_migration(BlockId block) const {
-  if (active_.count(block)) return true;
+  if (active_.count(block) || backoff_.count(block)) return true;
   return std::any_of(queue_.begin(), queue_.end(),
                      [block](const BoundMigration& m) { return m.block == block; });
+}
+
+const BoundMigration* MigrationSlave::local_migration(BlockId block) const {
+  auto it = active_.find(block);
+  if (it != active_.end()) return &it->second.m;
+  auto bit = backoff_.find(block);
+  if (bit != backoff_.end()) return &bit->second.m;
+  auto qit = std::find_if(queue_.begin(), queue_.end(),
+                          [block](const BoundMigration& m) { return m.block == block; });
+  return qit == queue_.end() ? nullptr : &*qit;
 }
 
 bool MigrationSlave::add_refs_if_local(BlockId block, const std::map<JobId, EvictionMode>& jobs) {
@@ -70,6 +84,11 @@ bool MigrationSlave::add_refs_if_local(BlockId block, const std::map<JobId, Evic
   if (it != active_.end()) {
     for (const auto& [job, mode] : jobs) it->second.m.jobs[job] = mode;
     buffers_.add_refs(block, jobs);  // reservation already installed refs
+    return true;
+  }
+  auto bit = backoff_.find(block);
+  if (bit != backoff_.end()) {
+    for (const auto& [job, mode] : jobs) bit->second.m.jobs[job] = mode;
     return true;
   }
   auto qit = std::find_if(queue_.begin(), queue_.end(),
@@ -84,6 +103,12 @@ bool MigrationSlave::cancel_for_job(BlockId block, JobId job) {
   if (it != active_.end()) {
     it->second.m.jobs.erase(job);
     if (!it->second.m.jobs.empty()) return false;  // others still want it
+    return cancel_block(block);
+  }
+  auto bit = backoff_.find(block);
+  if (bit != backoff_.end()) {
+    bit->second.m.jobs.erase(job);
+    if (!bit->second.m.jobs.empty()) return false;
     return cancel_block(block);
   }
   auto qit = std::find_if(queue_.begin(), queue_.end(),
@@ -139,6 +164,12 @@ bool MigrationSlave::start_migration(BoundMigration m) {
 void MigrationSlave::finish_migration(BlockId block, SimTime finished) {
   auto it = active_.find(block);
   DYRS_CHECK(it != active_.end());
+  // Fault injection: the read may have hit a transient I/O error, in which
+  // case the time was spent but no usable data arrived.
+  if (datanode_.migration_read_fault && datanode_.migration_read_fault()) {
+    fail_migration(block);
+    return;
+  }
   const Active& a = it->second;
   const double duration_s = to_seconds(finished - a.started_at);
   estimator_.on_complete(a.m.size, duration_s);
@@ -156,6 +187,41 @@ void MigrationSlave::finish_migration(BlockId block, SimTime finished) {
   maybe_start();
 }
 
+void MigrationSlave::fail_migration(BlockId block) {
+  auto it = active_.find(block);
+  DYRS_CHECK(it != active_.end());
+  BoundMigration m = std::move(it->second.m);
+  active_.erase(it);
+  buffers_.force_evict(block);  // drop the partially-read pages
+  ++m.attempts;
+  if (m.attempts >= config_.max_migration_attempts) {
+    ++permanent_failures_;
+    DYRS_LOG(Debug, "slave") << "node " << id() << " giving up on block " << block << " after "
+                             << m.attempts << " attempts";
+    if (callbacks_.on_failed) callbacks_.on_failed(id(), std::move(m));
+  } else {
+    ++retries_;
+    // Capped exponential backoff: base * 2^(attempt-1), clamped.
+    const int shift = std::min(m.attempts - 1, 20);
+    const SimDuration delay =
+        std::min(config_.retry_backoff_cap, config_.retry_backoff << shift);
+    Backoff b;
+    b.m = std::move(m);
+    b.timer = sim_.schedule_after(delay, [this, block]() { retry_now(block); });
+    backoff_.emplace(block, std::move(b));
+  }
+  maybe_start();
+}
+
+void MigrationSlave::retry_now(BlockId block) {
+  auto it = backoff_.find(block);
+  if (it == backoff_.end()) return;  // cancelled meanwhile
+  BoundMigration m = std::move(it->second.m);
+  backoff_.erase(it);
+  queue_.push_back(std::move(m));
+  maybe_start();
+}
+
 bool MigrationSlave::cancel_block(BlockId block) {
   auto it = active_.find(block);
   if (it != active_.end()) {
@@ -163,6 +229,12 @@ bool MigrationSlave::cancel_block(BlockId block) {
     active_.erase(it);
     buffers_.force_evict(block);  // releases the reserved pages
     maybe_start();
+    return true;
+  }
+  auto bit = backoff_.find(block);
+  if (bit != backoff_.end()) {
+    bit->second.timer.cancel();
+    backoff_.erase(bit);  // no buffer held: it was evicted on failure
     return true;
   }
   auto qit = std::find_if(queue_.begin(), queue_.end(),
@@ -211,18 +283,27 @@ std::vector<BlockId> MigrationSlave::on_block_read(BlockId block, JobId job) {
   return evicted;
 }
 
-std::vector<BlockId> MigrationSlave::crash() {
+MigrationSlave::CrashReport MigrationSlave::crash() {
+  CrashReport report;
   // Abort in-flight migrations and drop their partial buffers first, so
-  // the returned list names only *completed* blocks the master may have
+  // the buffered list names only *completed* blocks the master may have
   // registered as in-memory replicas.
   for (auto& [block, a] : active_) {
     datanode_.node().disk().cancel(a.flow);
     buffers_.force_evict(block);
+    report.lost.push_back(std::move(a.m));
   }
   active_.clear();
+  for (auto& [block, b] : backoff_) {
+    b.timer.cancel();
+    report.lost.push_back(std::move(b.m));
+  }
+  backoff_.clear();
+  for (auto& m : queue_) report.lost.push_back(std::move(m));
   queue_.clear();
   stalled_ = false;
-  return buffers_.clear_all();
+  report.buffered = buffers_.clear_all();
+  return report;
 }
 
 }  // namespace dyrs::core

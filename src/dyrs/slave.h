@@ -36,6 +36,14 @@ struct SlaveConfig {
   Bytes memory_limit = 0;             // cap for migrated data; 0 = node RAM
   double scavenge_threshold = 0.9;    // buffer fraction that triggers scavenge
   int extra_queue_depth = 0;          // added to the computed depth
+
+  /// Transient-failure handling: a migration whose read hits an (injected)
+  /// I/O error is retried locally with capped exponential backoff; after
+  /// `max_migration_attempts` total tries the slave reports a permanent
+  /// failure and the master re-targets the block at another replica.
+  int max_migration_attempts = 4;
+  SimDuration retry_backoff = milliseconds(250);   // first retry delay
+  SimDuration retry_backoff_cap = seconds(8);      // backoff ceiling
 };
 
 class MigrationSlave {
@@ -46,6 +54,10 @@ class MigrationSlave {
     /// Blocks were evicted from this slave's buffer; the master
     /// unregisters their in-memory replicas.
     std::function<void(NodeId, const std::vector<BlockId>&)> on_evicted;
+    /// A migration exhausted its retry budget on this slave (persistent
+    /// I/O errors); the master returns it to pending and re-targets it at
+    /// a surviving replica instead of silently dropping it.
+    std::function<void(NodeId, BoundMigration)> on_failed;
   };
 
   MigrationSlave(sim::Simulator& sim, dfs::DataNode& datanode, SlaveConfig config,
@@ -65,8 +77,10 @@ class MigrationSlave {
 
   /// Binds a migration to this slave (final, §III-A). Respects nothing —
   /// capacity discipline is the *master's* job on the pull path; eager
-  /// strategies (Ignem) push without limit.
-  void enqueue(BoundMigration m);
+  /// strategies (Ignem) push without limit. Returns false when the block
+  /// is already buffered here (only references were added and no local
+  /// migration exists) so the master can keep its bound set consistent.
+  bool enqueue(BoundMigration m);
 
   /// Cancels a queued or in-flight migration of `block`. Returns true if
   /// one was found. Reserved memory is released.
@@ -94,9 +108,21 @@ class MigrationSlave {
   std::vector<BlockId> on_block_read(BlockId block, JobId job);
 
   // --- failure ----------------------------------------------------------
-  /// Process crash: queue and in-flight migrations die, buffers are
-  /// reclaimed. Returns blocks that were buffered.
-  std::vector<BlockId> crash();
+  struct CrashReport {
+    /// Migrations (queued, in flight, or awaiting retry) that died with
+    /// the process — the master re-queues the ones whose jobs still live.
+    std::vector<BoundMigration> lost;
+    /// Blocks that had completed into the buffer (the master may have
+    /// registered them as in-memory replicas; it must drop those now).
+    std::vector<BlockId> buffered;
+  };
+  /// Process crash: queue, in-flight and backing-off migrations die,
+  /// buffers are reclaimed.
+  CrashReport crash();
+
+  /// Migration of `block` bound here, wherever it currently sits (queued,
+  /// in flight, or in retry backoff); nullptr when not bound locally.
+  const BoundMigration* local_migration(BlockId block) const;
 
   MigrationEstimator& estimator() { return estimator_; }
   const MigrationEstimator& estimator() const { return estimator_; }
@@ -104,6 +130,7 @@ class MigrationSlave {
   const BufferManager& buffers() const { return buffers_; }
   const SlaveConfig& config() const { return config_; }
   dfs::DataNode& datanode() { return datanode_; }
+  const dfs::DataNode& datanode() const { return datanode_; }
 
   /// Cluster-scheduler liveness oracle used by the scavenger. Unset means
   /// "assume every referencing job is still active".
@@ -112,16 +139,30 @@ class MigrationSlave {
   long migrations_completed() const { return completed_; }
   bool stalled() const { return stalled_; }
 
+  // --- retry statistics -------------------------------------------------
+  /// Migrations currently waiting out a retry backoff.
+  int backoff_count() const { return static_cast<int>(backoff_.size()); }
+  /// Transient I/O errors absorbed by a local retry.
+  long retries() const { return retries_; }
+  /// Migrations that exhausted the retry budget and were reported failed.
+  long permanent_failures() const { return permanent_failures_; }
+
  private:
   struct Active {
     BoundMigration m;
     SimTime started_at = 0;
     cluster::Disk::FlowId flow = 0;
   };
+  struct Backoff {
+    BoundMigration m;
+    sim::EventHandle timer;
+  };
 
   void maybe_start();
   bool start_migration(BoundMigration m);
   void finish_migration(BlockId block, SimTime finished);
+  void fail_migration(BlockId block);
+  void retry_now(BlockId block);
   void report_evicted(const std::vector<BlockId>& evicted);
 
   sim::Simulator& sim_;
@@ -133,8 +174,11 @@ class MigrationSlave {
 
   std::deque<BoundMigration> queue_;
   std::unordered_map<BlockId, Active> active_;
+  std::unordered_map<BlockId, Backoff> backoff_;
   bool stalled_ = false;
   long completed_ = 0;
+  long retries_ = 0;
+  long permanent_failures_ = 0;
 };
 
 }  // namespace dyrs::core

@@ -23,6 +23,9 @@ struct PendingMigration {
   std::map<JobId, EvictionMode> jobs;
   /// Disk replica holders (raw placement; availability checked at use).
   std::vector<NodeId> replicas;
+  /// Replica holders this block must not be targeted at again: nodes whose
+  /// slave exhausted its retry budget on the block (persistent I/O errors).
+  std::vector<NodeId> avoid;
   /// Node Algorithm 1 currently expects to finish this block soonest.
   NodeId target = NodeId::invalid();
   SimTime requested_at = 0;
@@ -34,6 +37,13 @@ struct BoundMigration {
   Bytes size = 0;
   std::map<JobId, EvictionMode> jobs;
   SimTime bound_at = 0;
+  /// Migration attempts consumed on the bound slave (transient I/O errors
+  /// retried with capped exponential backoff).
+  int attempts = 0;
+  /// Replica holders that already exhausted a retry budget on this block,
+  /// carried through binding so a requeue accumulates failures instead of
+  /// ping-ponging between two bad replicas.
+  std::vector<NodeId> avoid;
 };
 
 /// Completed-migration record, kept by the master for the figure benches
@@ -47,8 +57,20 @@ struct MigrationRecord {
   SimTime finished_at = 0;
 };
 
-/// Why a migration never completed.
-enum class CancelReason { MissedRead, SlaveCrash, Superseded };
+/// Why a migration never completed (on the node it was bound to — the
+/// master may still re-queue and re-target it at another replica).
+enum class CancelReason { MissedRead, SlaveCrash, Superseded, IoError, HeartbeatLoss };
+
+inline const char* to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::MissedRead: return "missed-read";
+    case CancelReason::SlaveCrash: return "slave-crash";
+    case CancelReason::Superseded: return "superseded";
+    case CancelReason::IoError: return "io-error";
+    case CancelReason::HeartbeatLoss: return "heartbeat-loss";
+  }
+  return "?";
+}
 
 struct CancelRecord {
   BlockId block;

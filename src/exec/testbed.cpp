@@ -86,6 +86,38 @@ void Testbed::remove_file(const std::string& name) {
   if (service_ != nullptr) service_->on_blocks_deleted(blocks);
 }
 
+faults::FaultInjector& Testbed::install_fault_plan(const faults::FaultPlan& plan) {
+  DYRS_CHECK_MSG(injector_ == nullptr, "a fault plan is already installed");
+  injector_ =
+      std::make_unique<faults::FaultInjector>(sim_, *cluster_, *namenode_, config_.fault_seed);
+  if (invariants_ != nullptr) {
+    injector_->after_event = [this]() { invariants_->check_now("after-fault"); };
+  }
+  injector_->install(plan);
+  return *injector_;
+}
+
+faults::ClusterInvariantChecker& Testbed::enable_invariant_checks(
+    faults::ClusterInvariantChecker::Options opts) {
+  DYRS_CHECK_MSG(invariants_ == nullptr, "invariant checks already enabled");
+  if (opts.period <= 0) opts.period = config_.invariant_check_period;
+  if (opts.detection_grace <= 0) {
+    // Namenode detection (miss limit 3, plus the in-flight interval) and
+    // one master pulse, with a pulse of slack.
+    opts.detection_grace = config_.dfs_heartbeat * 4 +
+                           config_.master.slave.heartbeat_interval * 2 + seconds(1);
+  }
+  if (opts.rebuild_grace <= 0) {
+    opts.rebuild_grace = config_.master.slave.heartbeat_interval * 2 + seconds(1);
+  }
+  invariants_ = std::make_unique<faults::ClusterInvariantChecker>(sim_, *cluster_, *namenode_,
+                                                                 master_.get(), opts);
+  if (injector_ != nullptr) {
+    injector_->after_event = [this]() { invariants_->check_now("after-fault"); };
+  }
+  return *invariants_;
+}
+
 cluster::DiskInterference& Testbed::add_persistent_interference(NodeId node, int width) {
   persistent_.push_back(
       std::make_unique<cluster::DiskInterference>(cluster_->node(node).disk(), width));

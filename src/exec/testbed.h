@@ -25,6 +25,8 @@
 #include "dfs/namenode.h"
 #include "dyrs/strategies.h"
 #include "exec/engine.h"
+#include "faults/fault_injector.h"
+#include "faults/invariant_checker.h"
 
 namespace dyrs::exec {
 
@@ -58,6 +60,10 @@ struct TestbedConfig {
   // Migration scheme.
   Scheme scheme = Scheme::Dyrs;
   core::MasterConfig master;  // knobs for the master-based schemes
+
+  // Fault injection.
+  std::uint64_t fault_seed = 1;  // I/O-error rolls in the injector
+  SimDuration invariant_check_period = seconds(1);
 };
 
 class Testbed {
@@ -88,6 +94,16 @@ class Testbed {
   JobId submit(const JobSpec& spec) { return engine_->submit(spec); }
   JobId submit_at(const JobSpec& spec, SimTime at) { return engine_->submit_at(spec, at); }
 
+  // --- fault injection --------------------------------------------------
+  /// Schedules `plan` against this testbed (call before run()). At most one
+  /// plan per testbed; returns the injector for trace/stat access.
+  faults::FaultInjector& install_fault_plan(const faults::FaultPlan& plan);
+  /// Starts periodic cross-layer invariant checking; when a fault plan is
+  /// (or later gets) installed, checks also run after every fault event.
+  /// Grace windows left at 0 are derived from the heartbeat configuration.
+  faults::ClusterInvariantChecker& enable_invariant_checks(
+      faults::ClusterInvariantChecker::Options opts = {});
+
   // --- run --------------------------------------------------------------
   /// Runs the simulation until every submitted job finished (or
   /// `max_time`, to bound broken experiments). Returns completion time.
@@ -108,6 +124,9 @@ class Testbed {
   /// The oracle, for the InputsInRam scheme only.
   core::OracleInRam* oracle() { return oracle_.get(); }
   core::MigrationService* service() { return service_; }
+  /// Null until install_fault_plan / enable_invariant_checks are called.
+  faults::FaultInjector* injector() { return injector_.get(); }
+  faults::ClusterInvariantChecker* invariants() { return invariants_.get(); }
 
  private:
   TestbedConfig config_;
@@ -124,6 +143,8 @@ class Testbed {
   std::unique_ptr<Engine> engine_;
   std::vector<std::unique_ptr<cluster::DiskInterference>> persistent_;
   std::vector<std::unique_ptr<cluster::AlternatingInterference>> alternating_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<faults::ClusterInvariantChecker> invariants_;
 };
 
 }  // namespace dyrs::exec

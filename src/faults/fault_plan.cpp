@@ -1,0 +1,112 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace dyrs::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::ProcessCrash: return "process-crash";
+    case FaultKind::ServerDeath: return "server-death";
+    case FaultKind::Partition: return "partition";
+    case FaultKind::IoErrors: return "io-errors";
+    case FaultKind::DiskDegradation: return "disk-degradation";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " node=" << node << " at=" << to_seconds(at) << "s";
+  if (until > at) os << " until=" << to_seconds(until) << "s";
+  if (kind == FaultKind::IoErrors) os << " rate=" << rate;
+  if (kind == FaultKind::DiskDegradation) os << " factor=" << factor;
+  return os.str();
+}
+
+FaultPlan& FaultPlan::crash_process(NodeId node, SimTime at, SimTime restart_at) {
+  return add({.kind = FaultKind::ProcessCrash, .node = node, .at = at, .until = restart_at});
+}
+
+FaultPlan& FaultPlan::kill_server(NodeId node, SimTime at, SimTime rejoin_at) {
+  return add({.kind = FaultKind::ServerDeath, .node = node, .at = at, .until = rejoin_at});
+}
+
+FaultPlan& FaultPlan::partition(NodeId node, SimTime at, SimTime heal_at) {
+  return add({.kind = FaultKind::Partition, .node = node, .at = at, .until = heal_at});
+}
+
+FaultPlan& FaultPlan::io_errors(NodeId node, SimTime from, SimTime until, double rate) {
+  DYRS_CHECK(rate >= 0.0 && rate <= 1.0);
+  return add(
+      {.kind = FaultKind::IoErrors, .node = node, .at = from, .until = until, .rate = rate});
+}
+
+FaultPlan& FaultPlan::degrade_disk(NodeId node, SimTime from, SimTime until, double factor) {
+  DYRS_CHECK(factor > 0.0 && factor <= 1.0);
+  return add({.kind = FaultKind::DiskDegradation,
+              .node = node,
+              .at = from,
+              .until = until,
+              .factor = factor});
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+FaultPlan FaultPlan::random(const RandomPlanOptions& opts, std::uint64_t seed) {
+  DYRS_CHECK(opts.num_nodes > 0);
+  DYRS_CHECK(opts.horizon > opts.start);
+  DYRS_CHECK(opts.min_down > 0 && opts.max_down >= opts.min_down);
+  DYRS_CHECK(opts.min_window > 0 && opts.max_window >= opts.min_window);
+  Rng rng(seed);
+  FaultPlan plan;
+
+  auto pick_node = [&]() { return NodeId(rng.uniform_int(0, opts.num_nodes - 1)); };
+
+  // Down incidents: sequential, non-overlapping, separated by incident_gap
+  // so the cluster fully recovers (heartbeats resume, the namenode marks
+  // the node available again) before the next node goes down.
+  SimTime cursor = opts.start;
+  for (int i = 0; i < opts.incidents; ++i) {
+    const SimDuration down = rng.uniform_int(opts.min_down, opts.max_down);
+    const SimTime at = cursor + rng.uniform_int(0, opts.incident_gap);
+    const SimTime until = at + down;
+    if (until >= opts.horizon) break;
+    const NodeId node = pick_node();
+    switch (rng.uniform_int(0, 2)) {
+      case 0: plan.crash_process(node, at, until); break;
+      case 1: plan.kill_server(node, at, until); break;
+      default: plan.partition(node, at, until); break;
+    }
+    cursor = until + opts.incident_gap;
+  }
+
+  // Error and degradation windows may overlap anything: they never remove
+  // a replica from the read path, only slow or retry migrations.
+  for (int i = 0; i < opts.io_error_windows; ++i) {
+    const SimTime at = rng.uniform_int(opts.start, opts.horizon);
+    const SimTime until =
+        std::min<SimTime>(opts.horizon, at + rng.uniform_int(opts.min_window, opts.max_window));
+    if (until <= at) continue;
+    plan.io_errors(pick_node(), at, until, rng.uniform(0.05, opts.max_io_error_rate));
+  }
+  for (int i = 0; i < opts.degradation_windows; ++i) {
+    const SimTime at = rng.uniform_int(opts.start, opts.horizon);
+    const SimTime until =
+        std::min<SimTime>(opts.horizon, at + rng.uniform_int(opts.min_window, opts.max_window));
+    if (until <= at) continue;
+    plan.degrade_disk(pick_node(), at, until, rng.uniform(opts.min_degradation, 0.9));
+  }
+
+  plan.sort();
+  return plan;
+}
+
+}  // namespace dyrs::faults

@@ -1,0 +1,86 @@
+// Declarative fault plans for the fault-injection subsystem.
+//
+// A FaultPlan is a plain list of timed fault events against named nodes:
+// datanode process crashes (with restart), whole-server deaths (with
+// rejoin), namenode partitions (heartbeat loss, healing), windows of
+// probabilistic migration-read I/O errors, and disk-bandwidth degradation
+// episodes. Plans are either scripted by hand (builder methods) or
+// generated from a seed (`FaultPlan::random`), and executed against a live
+// testbed by the FaultInjector. Everything is deterministic: the same plan
+// and seed produce bit-identical event traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace dyrs::faults {
+
+enum class FaultKind {
+  ProcessCrash,     // datanode process dies at `at`, restarts at `until`
+  ServerDeath,      // whole server dies at `at` (process too), rejoins at `until`
+  Partition,        // heartbeats to the namenode stop in [at, until); state survives
+  IoErrors,         // migration reads fail with probability `rate` in [at, until)
+  DiskDegradation,  // disk bandwidth scaled by `factor` in [at, until)
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::ProcessCrash;
+  NodeId node;
+  SimTime at = 0;
+  /// End of the episode (restart / rejoin / heal / window close).
+  /// `until <= at` means the fault is never repaired within the run.
+  SimTime until = 0;
+  double rate = 0.0;    // IoErrors: per-read failure probability in [0, 1]
+  double factor = 1.0;  // DiskDegradation: bandwidth multiplier in (0, 1]
+
+  std::string describe() const;
+};
+
+/// Knobs for `FaultPlan::random`. The generator keeps "down" incidents
+/// (crash / death / partition) globally non-overlapping and separated by
+/// `incident_gap`, so with replication >= 2 every block keeps a readable
+/// replica and the DFS read path never runs out of locations.
+struct RandomPlanOptions {
+  int num_nodes = 0;             // required
+  SimTime start = seconds(2);    // quiet period before the first fault
+  SimTime horizon = seconds(120);
+  int incidents = 4;             // crash / death / partition episodes
+  int io_error_windows = 3;
+  int degradation_windows = 2;
+  SimDuration min_down = seconds(4);
+  SimDuration max_down = seconds(12);
+  SimDuration incident_gap = seconds(10);
+  SimDuration min_window = seconds(5);
+  SimDuration max_window = seconds(20);
+  double max_io_error_rate = 0.5;
+  double min_degradation = 0.2;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& add(FaultEvent e) {
+    events.push_back(e);
+    return *this;
+  }
+  FaultPlan& crash_process(NodeId node, SimTime at, SimTime restart_at);
+  FaultPlan& kill_server(NodeId node, SimTime at, SimTime rejoin_at);
+  FaultPlan& partition(NodeId node, SimTime at, SimTime heal_at);
+  FaultPlan& io_errors(NodeId node, SimTime from, SimTime until, double rate);
+  FaultPlan& degrade_disk(NodeId node, SimTime from, SimTime until, double factor);
+
+  /// Stable sort by start time; same-time events keep insertion order so
+  /// the injector applies them deterministically.
+  void sort();
+
+  /// Seeded randomized plan; same (options, seed) -> same plan.
+  static FaultPlan random(const RandomPlanOptions& opts, std::uint64_t seed);
+};
+
+}  // namespace dyrs::faults

@@ -220,6 +220,67 @@ TEST_F(MasterFixture, SlaveCrashDropsSoftState) {
   EXPECT_EQ(dfs.cluster->node(victim).memory().pinned(), 0);
 }
 
+TEST_F(MasterFixture, SlaveCrashRequeuesInFlightMigrations) {
+  // Regression: migrations cancelled by a process crash used to vanish —
+  // the cancel was recorded but the blocks never went back to pending_.
+  // They must be re-queued and re-targeted at surviving replicas.
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64) * 8);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  // Binding happens on the t=1s pulse; at 1.5s reads are mid-flight.
+  dfs.sim.run_until(milliseconds(1500));
+  NodeId victim = NodeId::invalid();
+  for (NodeId id : dfs.cluster->node_ids()) {
+    if (master->slave(id).in_flight_count() > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  dfs.namenode->datanode(victim)->crash_process();
+  EXPECT_GT(master->migrations_requeued(), 0);
+  bool saw_crash_cancel = false;
+  for (const auto& c : master->cancels()) {
+    if (c.reason == CancelReason::SlaveCrash && c.node == victim) saw_crash_cancel = true;
+  }
+  EXPECT_TRUE(saw_crash_cancel);
+  dfs.sim.run_until(seconds(40));
+  EXPECT_EQ(master->pending_count(), 0u);
+  EXPECT_EQ(master->bound_count(), 0u);
+  for (BlockId b : f.blocks) EXPECT_TRUE(dfs.namenode->in_memory(b)) << b;
+}
+
+TEST_F(MasterFixture, RestartedProcessConvergesMidMigration) {
+  // Crash a slave mid-migration, restart it shortly after: the cluster
+  // must converge — every block migrated, the restarted node a valid
+  // target again, and no stale registry entries for the crashed process.
+  auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
+  const auto& f = dfs.namenode->create_file("/input", mib(64) * 8);
+  master->migrate_files(JobId(1), {"/input"}, EvictionMode::Explicit);
+  dfs.sim.run_until(milliseconds(1500));
+  NodeId victim = NodeId::invalid();
+  for (NodeId id : dfs.cluster->node_ids()) {
+    if (master->slave(id).in_flight_count() > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  dfs.namenode->datanode(victim)->crash_process();
+  EXPECT_EQ(dfs.cluster->node(victim).memory().pinned(), 0);
+  dfs.sim.schedule_at(seconds(3), [&]() { dfs.namenode->datanode(victim)->restart_process(); });
+  dfs.sim.run_until(seconds(40));
+  EXPECT_EQ(master->pending_count(), 0u);
+  EXPECT_EQ(master->bound_count(), 0u);
+  for (BlockId b : f.blocks) EXPECT_TRUE(dfs.namenode->in_memory(b)) << b;
+  // Registry only points at live processes.
+  for (BlockId b : f.blocks) {
+    for (NodeId n : dfs.namenode->memory_locations(b)) {
+      EXPECT_TRUE(dfs.namenode->datanode(n)->process_alive()) << n;
+    }
+  }
+}
+
 TEST_F(MasterFixture, MasterFailoverRebuildsFromSlaveReports) {
   auto master = make_dyrs(*dfs.cluster, *dfs.namenode, config());
   const auto& f = dfs.namenode->create_file("/input", mib(64) * 4);

@@ -251,8 +251,9 @@ TEST_F(SlaveFixture, CrashDropsEverything) {
   slave->enqueue(bound(file->blocks[0]));
   slave->enqueue(bound(file->blocks[1]));
   dfs.sim.run_until(milliseconds(500));
-  auto buffered = slave->crash();
-  EXPECT_TRUE(buffered.empty());  // nothing had completed yet
+  auto report = slave->crash();
+  EXPECT_TRUE(report.buffered.empty());  // nothing had completed yet
+  EXPECT_EQ(report.lost.size(), 2u);     // both migrations died with the process
   EXPECT_EQ(slave->in_flight_count(), 0);
   EXPECT_EQ(slave->queued_count(), 0);
   dfs.sim.run_until(seconds(5));
@@ -264,9 +265,10 @@ TEST_F(SlaveFixture, CrashReportsBufferedBlocks) {
   slave->enqueue(bound(file->blocks[0]));
   dfs.sim.run_until(seconds(3));
   ASSERT_EQ(completed.size(), 1u);
-  auto buffered = slave->crash();
-  ASSERT_EQ(buffered.size(), 1u);
-  EXPECT_EQ(buffered[0], file->blocks[0]);
+  auto report = slave->crash();
+  ASSERT_EQ(report.buffered.size(), 1u);
+  EXPECT_EQ(report.buffered[0], file->blocks[0]);
+  EXPECT_TRUE(report.lost.empty());  // the migration had already completed
   EXPECT_EQ(dfs.cluster->node(NodeId(0)).memory().pinned(), 0);
 }
 
