@@ -4,7 +4,9 @@
 // never correctness — every scheme finishes its jobs with zero cross-layer
 // invariant violations, absorbing transient errors via retries and
 // permanent ones via re-targeting.
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "common/table.h"
 #include "exec/testbed.h"
@@ -26,10 +28,15 @@ struct SchemeResult {
   std::size_t fault_events = 0;
 };
 
-SchemeResult run_scheme(exec::Scheme scheme, const faults::FaultPlan& plan) {
+SchemeResult run_scheme(exec::Scheme scheme, const faults::FaultPlan& plan,
+                        const std::string& trace_path) {
   exec::TestbedConfig config;
   config.scheme = scheme;
   exec::Testbed tb(config);
+  if (!trace_path.empty()) {
+    tb.trace_to_jsonl(trace_path);
+    tb.enable_sampling();
+  }
   auto& checker = tb.enable_invariant_checks();
   auto& injector = tb.install_fault_plan(plan);
 
@@ -51,12 +58,26 @@ SchemeResult run_scheme(exec::Scheme scheme, const faults::FaultPlan& plan) {
     r.requeued = m->migrations_requeued();
     r.permanent = m->migration_permanent_failures();
   }
+  tb.stop_tracing();  // flush the JSONL file before the testbed dies
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;  // DYRS-scheme lifecycle trace (CI diffs two runs)
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else {
+      std::cerr << "usage: chaos_demo [--trace FILE] [--seed N]\n";
+      return 2;
+    }
+  }
+
   faults::RandomPlanOptions opts;
   opts.num_nodes = 7;
   opts.start = seconds(2);
@@ -64,9 +85,9 @@ int main() {
   opts.incidents = 4;
   opts.io_error_windows = 4;
   opts.degradation_windows = 2;
-  const faults::FaultPlan plan = faults::FaultPlan::random(opts, /*seed=*/42);
+  const faults::FaultPlan plan = faults::FaultPlan::random(opts, seed);
 
-  std::cout << "fault plan (seed 42, " << plan.events.size() << " events):\n";
+  std::cout << "fault plan (seed " << seed << ", " << plan.events.size() << " events):\n";
   for (const auto& e : plan.events) std::cout << "  " << e.describe() << "\n";
   std::cout << "\n";
 
@@ -74,7 +95,8 @@ int main() {
                    "permanent", "violations"});
   for (exec::Scheme scheme : {exec::Scheme::Hdfs, exec::Scheme::InputsInRam, exec::Scheme::Ignem,
                               exec::Scheme::Dyrs, exec::Scheme::NaiveBalancer}) {
-    const SchemeResult r = run_scheme(scheme, plan);
+    const SchemeResult r = run_scheme(
+        scheme, plan, scheme == exec::Scheme::Dyrs ? trace_path : std::string());
     table.add_row({exec::to_string(scheme), TextTable::num(r.makespan_s, 1),
                    std::to_string(r.jobs), std::to_string(r.io_errors),
                    std::to_string(r.retries), std::to_string(r.requeued),

@@ -33,6 +33,8 @@ struct Args {
   bool compare = false;
   double lead_s = 5;
   std::uint64_t seed = 1;
+  std::string trace;  // JSONL trace output (per-scheme suffix when comparing)
+  bool dump_metrics = false;
 };
 
 [[noreturn]] void usage() {
@@ -46,7 +48,10 @@ struct Args {
       "  --lead S                               platform overhead seconds (default 5)\n"
       "  --slow-node                            cripple node 0 with dd interference\n"
       "  --seed N                               placement/workload seed\n"
-      "  --compare                              run all schemes and compare\n";
+      "  --compare                              run all schemes and compare\n"
+      "  --trace FILE                           dump a JSONL lifecycle trace\n"
+      "                                         (FILE.<scheme> with --compare)\n"
+      "  --dump-metrics                         print the metrics registry after each run\n";
   std::exit(2);
 }
 
@@ -72,6 +77,12 @@ RunResult run_workload(exec::Scheme scheme, const Args& args) {
   config.scheme = scheme;
   config.placement_seed = args.seed;
   exec::Testbed tb(config);
+  if (!args.trace.empty()) {
+    const std::string path =
+        args.compare ? args.trace + "." + exec::to_string(scheme) : args.trace;
+    tb.trace_to_jsonl(path);
+    tb.enable_sampling();
+  }
   if (args.slow_node) tb.add_persistent_interference(NodeId(0), 2);
 
   if (args.workload == "sort") {
@@ -106,6 +117,11 @@ RunResult run_workload(exec::Scheme scheme, const Args& args) {
     out.migrations = tb.master()->migrations_completed();
     out.cancelled = static_cast<long>(tb.master()->cancels().size());
   }
+  if (args.dump_metrics) {
+    std::cout << "--- metrics (" << exec::to_string(scheme) << ") ---\n";
+    tb.registry().dump(std::cout);
+  }
+  tb.stop_tracing();  // flush the JSONL file before the testbed dies
   return out;
 }
 
@@ -130,6 +146,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(need_value("--seed"));
     else if (!std::strcmp(argv[i], "--slow-node")) args.slow_node = true;
     else if (!std::strcmp(argv[i], "--compare")) args.compare = true;
+    else if (!std::strcmp(argv[i], "--trace")) args.trace = need_value("--trace");
+    else if (!std::strcmp(argv[i], "--dump-metrics")) args.dump_metrics = true;
     else usage();
   }
 

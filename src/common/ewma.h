@@ -36,9 +36,13 @@ class Ewma {
     return value_;
   }
 
-  /// Overrides the current value without counting a sample. Used by the
-  /// overdue-migration correction, which substitutes a provisional estimate.
+  /// Overrides the current value. Used by the overdue-migration correction,
+  /// which substitutes a provisional estimate. Forcing a fresh estimator
+  /// counts as the seeding sample so that `sample_count() == 0` iff
+  /// `empty()`; forcing an already-seeded estimator replaces the value
+  /// without counting (the provisional estimate is not a new observation).
   void force(double value) {
+    if (!seeded_) ++count_;
     value_ = value;
     seeded_ = true;
   }

@@ -19,6 +19,8 @@
 #include "common/random.h"
 #include "dfs/namenode.h"
 #include "dfs/read_hooks.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace dyrs::dfs {
 
@@ -44,6 +46,10 @@ class DFSClient {
   long reads_served(NodeId node, ReadMedium medium) const;
   long total_reads() const { return total_reads_; }
 
+  /// Wires per-medium read counters and `read_done` trace events. Either
+  /// pointer may be null; disabled paths cost one null check per read.
+  void set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
  private:
   void finish(const ReadInfo& info, JobId job, const ReadDoneFn& done);
 
@@ -51,6 +57,9 @@ class DFSClient {
   NameNode& namenode_;
   Rng rng_;
   ReadHooks* hooks_ = nullptr;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::array<obs::Counter*, 4> medium_counters_{};  // indexed by ReadMedium
 
   std::unordered_map<NodeId, std::array<long, 4>> served_;
   long total_reads_ = 0;

@@ -72,6 +72,37 @@ void MigrationMaster::set_job_active_query(std::function<bool(JobId)> q) {
   for (auto& [id, slave] : slaves_) slave->job_active_query = q;
 }
 
+void MigrationMaster::set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& [id, slave] : slaves_) slave->set_tracer(tracer);
+  if (registry == nullptr) {
+    ctr_enqueued_ = ctr_bound_ = ctr_completed_ = ctr_cancelled_ = ctr_requeued_ = ctr_bytes_ =
+        nullptr;
+    hist_transfer_s_ = hist_pending_wait_s_ = nullptr;
+    return;
+  }
+  ctr_enqueued_ = &registry->counter("dyrs.migrations.enqueued");
+  ctr_bound_ = &registry->counter("dyrs.migrations.bound");
+  ctr_completed_ = &registry->counter("dyrs.migrations.completed");
+  ctr_cancelled_ = &registry->counter("dyrs.migrations.cancelled");
+  ctr_requeued_ = &registry->counter("dyrs.migrations.requeued");
+  ctr_bytes_ = &registry->counter("dyrs.migrations.bytes");
+  hist_transfer_s_ = &registry->histogram("dyrs.migration.transfer_s");
+  hist_pending_wait_s_ = &registry->histogram("dyrs.migration.pending_wait_s");
+}
+
+void MigrationMaster::record_cancel(CancelRecord rec) {
+  if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
+  if (tracing()) {
+    obs::TraceEvent e(rec.at, "mig_abort");
+    e.with("block", rec.block.value());
+    if (rec.node.valid()) e.with("node", rec.node.value());
+    e.with("reason", to_string(rec.reason));
+    tracer_->emit(e);
+  }
+  cancels_.push_back(rec);
+}
+
 bool MigrationMaster::reachable(NodeId id, const MigrationSlave& slave) const {
   const dfs::DataNode& dn = slave.datanode();
   return dn.serving() && !dn.partitioned() && namenode_.available(id);
@@ -128,6 +159,13 @@ void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode,
   pm.replicas = namenode_.raw_replicas(block);
   pm.avoid = avoid;
   pm.requested_at = cluster_.simulator().now();
+  if (ctr_enqueued_ != nullptr) ctr_enqueued_->inc();
+  if (tracing()) {
+    tracer_->emit(obs::TraceEvent(pm.requested_at, "mig_enqueue")
+                      .with("block", block.value())
+                      .with("job", job.value())
+                      .with("size", static_cast<std::int64_t>(pm.size)));
+  }
   pending_.push_back(std::move(pm));
   pending_index_[block] = std::prev(pending_.end());
 }
@@ -172,7 +210,24 @@ void MigrationMaster::retarget_now() {
   std::vector<PendingMigration*> ptrs;
   ptrs.reserve(pending_.size());
   for (auto it : pending_in_order()) ptrs.push_back(&*it);
+  if (!tracing()) {
+    assign_targets(ptrs, snapshots);
+    return;
+  }
+  std::vector<NodeId> before;
+  before.reserve(ptrs.size());
+  for (const PendingMigration* pm : ptrs) before.push_back(pm->target);
   assign_targets(ptrs, snapshots);
+  std::unordered_map<NodeId, double> sec_per_byte;
+  for (const SlaveSnapshot& s : snapshots) sec_per_byte[s.node] = s.sec_per_byte;
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    const PendingMigration& pm = *ptrs[i];
+    if (pm.target == before[i] || !pm.target.valid()) continue;
+    tracer_->emit(obs::TraceEvent(cluster_.simulator().now(), "mig_target")
+                      .with("block", pm.block.value())
+                      .with("node", pm.target.value())
+                      .with("sec_per_byte", sec_per_byte[pm.target]));
+  }
 }
 
 void MigrationMaster::pulse() {
@@ -247,6 +302,15 @@ void MigrationMaster::bind(std::list<PendingMigration>::iterator it, MigrationSl
   bm.avoid = it->avoid;
   bm.bound_at = cluster_.simulator().now();
   const BlockId block = it->block;
+  const SimDuration wait = bm.bound_at - it->requested_at;
+  if (ctr_bound_ != nullptr) ctr_bound_->inc();
+  if (hist_pending_wait_s_ != nullptr) hist_pending_wait_s_->add(to_seconds(wait));
+  if (tracing()) {
+    tracer_->emit(obs::TraceEvent(bm.bound_at, "mig_bind")
+                      .with("block", block.value())
+                      .with("node", slave.id().value())
+                      .with("wait_us", static_cast<std::int64_t>(wait)));
+  }
   pending_index_.erase(block);
   pending_.erase(it);
   if (slave.enqueue(std::move(bm))) {
@@ -267,6 +331,19 @@ void MigrationMaster::handle_migration_complete(const MigrationRecord& record) {
   if (it != bound_.end() && it->second == record.node) bound_.erase(it);
   namenode_.register_memory_replica(record.block, record.node);
   bytes_migrated_ += static_cast<double>(record.size);
+  const double transfer_s = to_seconds(record.finished_at - record.started_at);
+  if (ctr_completed_ != nullptr) {
+    ctr_completed_->inc();
+    ctr_bytes_->add(static_cast<std::int64_t>(record.size));
+    hist_transfer_s_->add(transfer_s);
+  }
+  if (tracing()) {
+    tracer_->emit(obs::TraceEvent(record.finished_at, "mig_complete")
+                      .with("block", record.block.value())
+                      .with("node", record.node.value())
+                      .with("size", static_cast<std::int64_t>(record.size))
+                      .with("transfer_s", transfer_s));
+  }
   records_.push_back(record);
 }
 
@@ -283,10 +360,10 @@ void MigrationMaster::handle_slave_crash(NodeId node) {
   namenode_.drop_memory_replicas_on(node);
   for (auto bit = bound_.begin(); bit != bound_.end();) {
     if (bit->second == node) {
-      cancels_.push_back({.block = bit->first,
-                          .node = node,
-                          .reason = CancelReason::SlaveCrash,
-                          .at = cluster_.simulator().now()});
+      record_cancel({.block = bit->first,
+                     .node = node,
+                     .reason = CancelReason::SlaveCrash,
+                     .at = cluster_.simulator().now()});
       bit = bound_.erase(bit);
     } else {
       ++bit;
@@ -301,10 +378,10 @@ void MigrationMaster::handle_slave_crash(NodeId node) {
 void MigrationMaster::handle_migration_failed(NodeId node, BoundMigration m) {
   auto bit = bound_.find(m.block);
   if (bit != bound_.end() && bit->second == node) bound_.erase(bit);
-  cancels_.push_back({.block = m.block,
-                      .node = node,
-                      .reason = CancelReason::IoError,
-                      .at = cluster_.simulator().now()});
+  record_cancel({.block = m.block,
+                 .node = node,
+                 .reason = CancelReason::IoError,
+                 .at = cluster_.simulator().now()});
   std::vector<BoundMigration> lost;
   lost.push_back(std::move(m));
   // The node's disk is returning persistent errors for this block: target a
@@ -328,10 +405,10 @@ void MigrationMaster::reclaim_bound_on(NodeId node, CancelReason reason) {
     if (const BoundMigration* m = sit->second->local_migration(bit->first)) {
       lost.push_back(*m);
     }
-    cancels_.push_back({.block = bit->first,
-                        .node = node,
-                        .reason = reason,
-                        .at = cluster_.simulator().now()});
+    record_cancel({.block = bit->first,
+                   .node = node,
+                   .reason = reason,
+                   .at = cluster_.simulator().now()});
     bit = bound_.erase(bit);
   }
   requeue_lost(std::move(lost), node);
@@ -355,6 +432,13 @@ void MigrationMaster::requeue_lost(std::vector<BoundMigration> lost, NodeId avoi
     if (requeued) {
       ++requeued_;
       any = true;
+      if (ctr_requeued_ != nullptr) ctr_requeued_->inc();
+      if (tracing()) {
+        obs::TraceEvent e(cluster_.simulator().now(), "mig_requeue");
+        e.with("block", m.block.value());
+        if (avoid.valid()) e.with("avoid", avoid.value());
+        tracer_->emit(e);
+      }
     }
   }
   if (!any) return;
@@ -370,9 +454,9 @@ void MigrationMaster::evict_job(JobId job) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     it->jobs.erase(job);
     if (it->jobs.empty()) {
-      cancels_.push_back({.block = it->block,
-                          .reason = CancelReason::Superseded,
-                          .at = cluster_.simulator().now()});
+      record_cancel({.block = it->block,
+                     .reason = CancelReason::Superseded,
+                     .at = cluster_.simulator().now()});
       pending_index_.erase(it->block);
       it = pending_.erase(it);
     } else {
@@ -385,10 +469,10 @@ void MigrationMaster::evict_job(JobId job) {
   }
   for (auto bit = bound_.begin(); bit != bound_.end();) {
     if (slave(bit->second).cancel_for_job(bit->first, job)) {
-      cancels_.push_back({.block = bit->first,
-                          .node = bit->second,
-                          .reason = CancelReason::Superseded,
-                          .at = cluster_.simulator().now()});
+      record_cancel({.block = bit->first,
+                     .node = bit->second,
+                     .reason = CancelReason::Superseded,
+                     .at = cluster_.simulator().now()});
       bit = bound_.erase(bit);
     } else {
       ++bit;
@@ -402,18 +486,18 @@ void MigrationMaster::on_blocks_deleted(const std::vector<BlockId>& blocks) {
     if (pit != pending_index_.end()) {
       pending_.erase(pit->second);
       pending_index_.erase(pit);
-      cancels_.push_back({.block = block,
-                          .reason = CancelReason::Superseded,
-                          .at = cluster_.simulator().now()});
+      record_cancel({.block = block,
+                     .reason = CancelReason::Superseded,
+                     .at = cluster_.simulator().now()});
       continue;
     }
     auto bit = bound_.find(block);
     if (bit != bound_.end()) {
       slave(bit->second).cancel_block(block);
-      cancels_.push_back({.block = block,
-                          .node = bit->second,
-                          .reason = CancelReason::Superseded,
-                          .at = cluster_.simulator().now()});
+      record_cancel({.block = block,
+                     .node = bit->second,
+                     .reason = CancelReason::Superseded,
+                     .at = cluster_.simulator().now()});
       bound_.erase(bit);
       continue;
     }
@@ -434,9 +518,9 @@ void MigrationMaster::on_read_started(BlockId block, JobId job) {
     auto it = pit->second;
     it->jobs.erase(job);
     if (it->jobs.empty()) {
-      cancels_.push_back({.block = block,
-                          .reason = CancelReason::MissedRead,
-                          .at = cluster_.simulator().now()});
+      record_cancel({.block = block,
+                     .reason = CancelReason::MissedRead,
+                     .at = cluster_.simulator().now()});
       pending_index_.erase(pit);
       pending_.erase(it);
     }
@@ -445,10 +529,10 @@ void MigrationMaster::on_read_started(BlockId block, JobId job) {
   auto bit = bound_.find(block);
   if (bit != bound_.end()) {
     if (slave(bit->second).cancel_for_job(block, job)) {
-      cancels_.push_back({.block = block,
-                          .node = bit->second,
-                          .reason = CancelReason::MissedRead,
-                          .at = cluster_.simulator().now()});
+      record_cancel({.block = block,
+                     .node = bit->second,
+                     .reason = CancelReason::MissedRead,
+                     .at = cluster_.simulator().now()});
       bound_.erase(bit);
     }
   }
@@ -498,6 +582,7 @@ void MigrationMaster::master_failover() {
   // The registry lives logically in the master.
   for (NodeId id : cluster_.node_ids()) namenode_.drop_memory_replicas_on(id);
   rebuilding_ = true;
+  if (tracing()) tracer_->emit(obs::TraceEvent(cluster_.simulator().now(), "master_failover"));
 }
 
 }  // namespace dyrs::core

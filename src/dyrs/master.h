@@ -24,6 +24,8 @@
 #include "dyrs/replica_selector.h"
 #include "dyrs/service.h"
 #include "dyrs/slave.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace dyrs::core {
 
@@ -105,6 +107,13 @@ class MigrationMaster final : public MigrationService {
   /// Forces an immediate Algorithm 1 pass (normally periodic).
   void retarget_now();
 
+  // --- observability ------------------------------------------------------
+  /// Wires the migration-lifecycle tracing (enqueue -> target -> bind ->
+  /// transfer -> complete/abort) and registry counters through the master
+  /// and its slaves. Either pointer may be null; with a disabled tracer the
+  /// instrumented paths cost one null/flag check.
+  void set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+
   /// Cluster-scheduler liveness oracle, forwarded to slave scavengers.
   void set_job_active_query(std::function<bool(JobId)> q);
 
@@ -134,6 +143,9 @@ class MigrationMaster final : public MigrationService {
   void requeue_lost(std::vector<BoundMigration> lost, NodeId avoid);
   void add_pending(JobId job, BlockId block, EvictionMode mode,
                    const std::vector<NodeId>& avoid = {});
+  /// Records the cancel and emits the matching `mig_abort` trace event.
+  void record_cancel(CancelRecord rec);
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   cluster::Cluster& cluster_;
   dfs::NameNode& namenode_;
@@ -152,6 +164,18 @@ class MigrationMaster final : public MigrationService {
   bool rebuilding_ = false;
   long requeued_ = 0;
   std::function<bool(JobId)> job_active_;
+
+  // Observability (optional; cached instrument pointers keep hot paths to
+  // one atomic add each).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctr_enqueued_ = nullptr;
+  obs::Counter* ctr_bound_ = nullptr;
+  obs::Counter* ctr_completed_ = nullptr;
+  obs::Counter* ctr_cancelled_ = nullptr;
+  obs::Counter* ctr_requeued_ = nullptr;
+  obs::Counter* ctr_bytes_ = nullptr;
+  obs::Histogram* hist_transfer_s_ = nullptr;
+  obs::Histogram* hist_pending_wait_s_ = nullptr;
 
   sim::EventHandle heartbeat_timer_;
   sim::EventHandle retarget_timer_;

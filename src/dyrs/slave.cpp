@@ -151,6 +151,7 @@ bool MigrationSlave::start_migration(BoundMigration m) {
   stalled_ = false;
   const BlockId block = m.block;
   const Bytes size = m.size;
+  const int attempt = m.attempts + 1;
   Active active;
   active.m = std::move(m);
   active.started_at = sim_.now();
@@ -158,6 +159,13 @@ bool MigrationSlave::start_migration(BoundMigration m) {
       cluster::IoClass::MigrationRead, size,
       [this, block](SimTime t) { finish_migration(block, t); });
   active_.emplace(block, std::move(active));
+  if (tracing()) {
+    tracer_->emit(obs::TraceEvent(sim_.now(), "mig_transfer_start")
+                      .with("block", block.value())
+                      .with("node", id().value())
+                      .with("size", static_cast<std::int64_t>(size))
+                      .with("attempt", attempt));
+  }
   return true;
 }
 
@@ -198,6 +206,12 @@ void MigrationSlave::fail_migration(BlockId block) {
     ++permanent_failures_;
     DYRS_LOG(Debug, "slave") << "node " << id() << " giving up on block " << block << " after "
                              << m.attempts << " attempts";
+    if (tracing()) {
+      tracer_->emit(obs::TraceEvent(sim_.now(), "mig_transfer_failed")
+                        .with("block", block.value())
+                        .with("node", id().value())
+                        .with("attempts", m.attempts));
+    }
     if (callbacks_.on_failed) callbacks_.on_failed(id(), std::move(m));
   } else {
     ++retries_;
@@ -205,6 +219,13 @@ void MigrationSlave::fail_migration(BlockId block) {
     const int shift = std::min(m.attempts - 1, 20);
     const SimDuration delay =
         std::min(config_.retry_backoff_cap, config_.retry_backoff << shift);
+    if (tracing()) {
+      tracer_->emit(obs::TraceEvent(sim_.now(), "mig_transfer_retry")
+                        .with("block", block.value())
+                        .with("node", id().value())
+                        .with("attempt", m.attempts)
+                        .with("delay_us", static_cast<std::int64_t>(delay)));
+    }
     Backoff b;
     b.m = std::move(m);
     b.timer = sim_.schedule_after(delay, [this, block]() { retry_now(block); });

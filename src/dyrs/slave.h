@@ -21,6 +21,7 @@
 #include "dyrs/buffer_manager.h"
 #include "dyrs/estimator.h"
 #include "dyrs/types.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace dyrs::core {
@@ -139,6 +140,11 @@ class MigrationSlave {
   long migrations_completed() const { return completed_; }
   bool stalled() const { return stalled_; }
 
+  /// Transfer-phase trace events (mig_transfer_start/retry/failed) go to
+  /// this tracer; null (the default) disables them at the cost of one
+  /// pointer check per site.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // --- retry statistics -------------------------------------------------
   /// Migrations currently waiting out a retry backoff.
   int backoff_count() const { return static_cast<int>(backoff_.size()); }
@@ -164,6 +170,7 @@ class MigrationSlave {
   void fail_migration(BlockId block);
   void retry_now(BlockId block);
   void report_evicted(const std::vector<BlockId>& evicted);
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   sim::Simulator& sim_;
   dfs::DataNode& datanode_;
@@ -171,6 +178,8 @@ class MigrationSlave {
   Callbacks callbacks_;
   MigrationEstimator estimator_;
   BufferManager buffers_;
+
+  obs::Tracer* tracer_ = nullptr;
 
   std::deque<BoundMigration> queue_;
   std::unordered_map<BlockId, Active> active_;

@@ -40,6 +40,20 @@ void Engine::set_migration_service(core::MigrationService* service) {
   }
 }
 
+void Engine::set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    ctr_jobs_submitted_ = ctr_jobs_done_ = ctr_maps_done_ = ctr_reduces_done_ = nullptr;
+    hist_job_duration_s_ = nullptr;
+    return;
+  }
+  ctr_jobs_submitted_ = &registry->counter("exec.jobs.submitted");
+  ctr_jobs_done_ = &registry->counter("exec.jobs.completed");
+  ctr_maps_done_ = &registry->counter("exec.maps.completed");
+  ctr_reduces_done_ = &registry->counter("exec.reduces.completed");
+  hist_job_duration_s_ = &registry->histogram("exec.job.duration_s");
+}
+
 JobId Engine::submit(const JobSpec& spec) {
   const JobId id(next_job_++);
   begin_submission(id, spec);
@@ -86,6 +100,16 @@ void Engine::begin_submission(JobId id, JobSpec spec) {
   job.reduces_remaining = spec.num_reducers;
   job.record.num_reduces = spec.num_reducers;
 
+  if (ctr_jobs_submitted_ != nullptr) ctr_jobs_submitted_->inc();
+  if (tracing()) {
+    tracer_->emit(obs::TraceEvent(job.record.submitted, "job_submit")
+                      .with("job", id.value())
+                      .with("name", job.record.name)
+                      .with("maps", job.record.num_maps)
+                      .with("reduces", job.record.num_reduces)
+                      .with("input", static_cast<std::int64_t>(job.record.input_size)));
+  }
+
   const SimDuration wait = spec.platform_overhead + spec.extra_lead_time;
   job.spec = std::move(spec);
   active_.emplace(id, std::move(job));
@@ -101,6 +125,9 @@ Engine::Job& Engine::job_state(JobId id) {
 void Engine::make_eligible(JobId id) {
   Job& job = job_state(id);
   job.record.eligible = cluster_.simulator().now();
+  if (tracing()) {
+    tracer_->emit(obs::TraceEvent(job.record.eligible, "job_eligible").with("job", id.value()));
+  }
   runnable_.push_back(id);
   try_schedule();
 }
@@ -211,6 +238,15 @@ void Engine::run_map(Job& job, MapTask& task, NodeId node, bool speculative) {
             if (speculative) ++speculative_wins_;
             record->finished = cluster_.simulator().now();
             metrics_.add_task(*record);
+            if (ctr_maps_done_ != nullptr) ctr_maps_done_->inc();
+            if (tracing()) {
+              tracer_->emit(obs::TraceEvent(record->finished, "task_done")
+                                .with("task", record->id.value())
+                                .with("job", jid.value())
+                                .with("node", node.value())
+                                .with("phase", "map")
+                                .with("medium", dfs::to_string(record->medium)));
+            }
             auto it = active_.find(jid);
             if (it != active_.end()) {
               Job& j = it->second;
@@ -288,6 +324,14 @@ void Engine::run_reduce(Job& job, ReduceTask& task, NodeId node) {
     auto finish = [this, jid, node, record]() {
       record->finished = cluster_.simulator().now();
       metrics_.add_task(*record);
+      if (ctr_reduces_done_ != nullptr) ctr_reduces_done_->inc();
+      if (tracing()) {
+        tracer_->emit(obs::TraceEvent(record->finished, "task_done")
+                          .with("task", record->id.value())
+                          .with("job", jid.value())
+                          .with("node", node.value())
+                          .with("phase", "reduce"));
+      }
       ++slots_[node].reduce_free;
       auto it = active_.find(jid);
       if (it != active_.end()) {
@@ -346,6 +390,16 @@ void Engine::finish_job(Job& job) {
   job.record.finished = cluster_.simulator().now();
   const JobRecord record = job.record;
   const JobId id = job.id;
+  const double duration_s = to_seconds(record.finished - record.submitted);
+  if (ctr_jobs_done_ != nullptr) {
+    ctr_jobs_done_->inc();
+    hist_job_duration_s_->add(duration_s);
+  }
+  if (tracing()) {
+    tracer_->emit(obs::TraceEvent(record.finished, "job_done")
+                      .with("job", id.value())
+                      .with("duration_s", duration_s));
+  }
   runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), id), runnable_.end());
   metrics_.add_job(record);
   active_.erase(id);

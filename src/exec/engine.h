@@ -25,6 +25,8 @@
 #include "dyrs/service.h"
 #include "exec/job.h"
 #include "exec/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace dyrs::exec {
 
@@ -54,6 +56,10 @@ class Engine {
   /// Wires a migration service into submission/eviction and the client's
   /// read hooks. Pass nullptr for plain HDFS.
   void set_migration_service(core::MigrationService* service);
+
+  /// Wires job/task lifecycle trace events and registry counters. Either
+  /// pointer may be null; disabled paths cost one null check per site.
+  void set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
 
   /// Submits a job now; returns its id.
   JobId submit(const JobSpec& spec);
@@ -114,6 +120,7 @@ class Engine {
   void on_maps_complete(Job& job);
   void finish_job(Job& job);
   Job& job_state(JobId id);
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   cluster::Cluster& cluster_;
   dfs::NameNode& namenode_;
@@ -132,6 +139,13 @@ class Engine {
   sim::EventHandle speculation_timer_;
   long speculative_launches_ = 0;
   long speculative_wins_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctr_jobs_submitted_ = nullptr;
+  obs::Counter* ctr_jobs_done_ = nullptr;
+  obs::Counter* ctr_maps_done_ = nullptr;
+  obs::Counter* ctr_reduces_done_ = nullptr;
+  obs::Histogram* hist_job_duration_s_ = nullptr;
 
  public:
   ~Engine();

@@ -32,13 +32,15 @@ double Metrics::memory_read_fraction() const {
   return total > 0.0 ? mem / total : 0.0;
 }
 
+const JobRecord* Metrics::find_job(JobId id) const {
+  auto it = job_index_.find(id);
+  return it == job_index_.end() ? nullptr : &jobs_[it->second];
+}
+
 const JobRecord& Metrics::job(JobId id) const {
-  for (const auto& j : jobs_) {
-    if (j.id == id) return j;
-  }
-  DYRS_CHECK_MSG(false, "no record for job " << id);
-  // Unreachable; DYRS_CHECK_MSG throws.
-  throw CheckError("unreachable");
+  const JobRecord* record = find_job(id);
+  DYRS_CHECK_MSG(record != nullptr, "no record for job " << id);
+  return *record;
 }
 
 }  // namespace dyrs::exec

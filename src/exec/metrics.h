@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -52,7 +53,10 @@ struct JobRecord {
 class Metrics {
  public:
   void add_task(const TaskRecord& r) { tasks_.push_back(r); }
-  void add_job(const JobRecord& r) { jobs_.push_back(r); }
+  void add_job(const JobRecord& r) {
+    job_index_[r.id] = jobs_.size();
+    jobs_.push_back(r);
+  }
 
   const std::vector<TaskRecord>& tasks() const { return tasks_; }
   const std::vector<JobRecord>& jobs() const { return jobs_; }
@@ -64,11 +68,15 @@ class Metrics {
   /// Fraction of map-task input bytes read from memory.
   double memory_read_fraction() const;
 
+  /// Record for `id`, or nullptr when no such job was recorded. O(1).
+  const JobRecord* find_job(JobId id) const;
+  /// Record for `id`; throws CheckError when absent. O(1).
   const JobRecord& job(JobId id) const;
 
  private:
   std::vector<TaskRecord> tasks_;
   std::vector<JobRecord> jobs_;
+  std::unordered_map<JobId, std::size_t> job_index_;  // JobId -> jobs_ slot
 };
 
 }  // namespace dyrs::exec

@@ -73,6 +73,12 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   engine_opts.seed = config_.placement_seed + 31;
   engine_ = std::make_unique<Engine>(*cluster_, *namenode_, *client_, engine_opts);
   engine_->set_migration_service(service_);
+
+  // Every layer shares the testbed's registry/tracer; tracing stays off
+  // (and near-free) until a sink is attached.
+  client_->set_observability(&obs_.registry(), &obs_.tracer());
+  engine_->set_observability(&obs_.registry(), &obs_.tracer());
+  if (master_ != nullptr) master_->set_observability(&obs_.registry(), &obs_.tracer());
 }
 
 Testbed::~Testbed() = default;
@@ -118,6 +124,45 @@ faults::ClusterInvariantChecker& Testbed::enable_invariant_checks(
   return *invariants_;
 }
 
+obs::PeriodicSampler& Testbed::enable_sampling() {
+  DYRS_CHECK_MSG(sampler_ == nullptr, "sampling already enabled");
+  sampler_ = std::make_unique<obs::PeriodicSampler>(sim_, &obs_.registry(), &obs_.tracer(),
+                                                    config_.sample_interval);
+  const double interval_s = to_seconds(config_.sample_interval);
+  for (NodeId id : cluster_->node_ids()) {
+    const std::string prefix = "node" + std::to_string(id.value());
+    cluster::Node& node = cluster_->node(id);
+    // Utilization probes report the busy fraction of the elapsed interval
+    // (cumulative busy-seconds deltas), like iostat %util.
+    auto disk_prev = std::make_shared<double>(0.0);
+    sampler_->add_probe(prefix + ".disk.util", [&node, disk_prev, interval_s]() {
+      const double busy = node.disk().busy_seconds();
+      const double util = (busy - *disk_prev) / interval_s;
+      *disk_prev = busy;
+      return util;
+    });
+    auto nic_prev = std::make_shared<double>(0.0);
+    sampler_->add_probe(prefix + ".nic.util", [&node, nic_prev, interval_s]() {
+      const double busy = node.nic().busy_seconds();
+      const double util = (busy - *nic_prev) / interval_s;
+      *nic_prev = busy;
+      return util;
+    });
+    sampler_->add_probe(prefix + ".mem.pinned_bytes", [&node]() {
+      return static_cast<double>(node.memory().pinned());
+    });
+  }
+  if (master_ != nullptr) {
+    core::MigrationMaster* master = master_.get();
+    sampler_->add_probe("dyrs.pending_depth",
+                        [master]() { return static_cast<double>(master->pending_count()); });
+    sampler_->add_probe("dyrs.bound_depth",
+                        [master]() { return static_cast<double>(master->bound_count()); });
+  }
+  sampler_->start();
+  return *sampler_;
+}
+
 cluster::DiskInterference& Testbed::add_persistent_interference(NodeId node, int width) {
   persistent_.push_back(
       std::make_unique<cluster::DiskInterference>(cluster_->node(node).disk(), width));
@@ -139,9 +184,9 @@ SimTime Testbed::run(SimTime max_time) {
   // so "run to completion" means "run until the engine drains". Never
   // steps past max_time: events beyond the horizon stay queued.
   while (!engine_->all_done()) {
-    const SimTime next = sim_.next_event_time();
-    DYRS_CHECK_MSG(next >= 0, "simulation deadlocked with active jobs");
-    if (next > max_time) break;
+    const std::optional<SimTime> next = sim_.next_event_time();
+    DYRS_CHECK_MSG(next.has_value(), "simulation deadlocked with active jobs");
+    if (*next > max_time) break;
     sim_.step();
   }
   return sim_.now();

@@ -27,6 +27,8 @@
 #include "exec/engine.h"
 #include "faults/fault_injector.h"
 #include "faults/invariant_checker.h"
+#include "obs/observability.h"
+#include "obs/sampler.h"
 
 namespace dyrs::exec {
 
@@ -64,6 +66,9 @@ struct TestbedConfig {
   // Fault injection.
   std::uint64_t fault_seed = 1;  // I/O-error rolls in the injector
   SimDuration invariant_check_period = seconds(1);
+
+  // Observability.
+  SimDuration sample_interval = seconds(1);  // enable_sampling() cadence
 };
 
 class Testbed {
@@ -104,6 +109,20 @@ class Testbed {
   faults::ClusterInvariantChecker& enable_invariant_checks(
       faults::ClusterInvariantChecker::Options opts = {});
 
+  // --- observability ----------------------------------------------------
+  /// Every layer is wired to this bundle at construction; tracing is off
+  /// until a sink is attached (near-zero cost while disabled).
+  obs::Observability& observability() { return obs_; }
+  obs::MetricsRegistry& registry() { return obs_.registry(); }
+  obs::MemorySink& trace_to_memory() { return obs_.trace_to_memory(); }
+  void trace_to_jsonl(const std::string& path) { obs_.trace_to_jsonl(path); }
+  void stop_tracing() { obs_.stop_tracing(); }
+  /// Starts per-node telemetry sampling (disk/NIC utilization, pinned
+  /// memory bytes, master queue depths) on config().sample_interval.
+  obs::PeriodicSampler& enable_sampling();
+  /// Null until enable_sampling() is called.
+  obs::PeriodicSampler* sampler() { return sampler_.get(); }
+
   // --- run --------------------------------------------------------------
   /// Runs the simulation until every submitted job finished (or
   /// `max_time`, to bound broken experiments). Returns completion time.
@@ -131,6 +150,7 @@ class Testbed {
  private:
   TestbedConfig config_;
   sim::Simulator sim_;
+  obs::Observability obs_;  // outlives every instrumented component below
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<dfs::NameNode> namenode_;
   std::vector<std::unique_ptr<dfs::DataNode>> datanodes_;
@@ -145,6 +165,7 @@ class Testbed {
   std::vector<std::unique_ptr<cluster::AlternatingInterference>> alternating_;
   std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<faults::ClusterInvariantChecker> invariants_;
+  std::unique_ptr<obs::PeriodicSampler> sampler_;
 };
 
 }  // namespace dyrs::exec

@@ -1,0 +1,76 @@
+#include "obs/metrics_registry.h"
+
+#include <iomanip>
+
+namespace dyrs::obs {
+
+namespace {
+template <typename T>
+T& get_or_create(std::map<std::string, std::unique_ptr<T>>& m, const std::string& name) {
+  auto it = m.find(name);
+  if (it == m.end()) it = m.emplace(name, std::make_unique<T>()).first;
+  return *it->second;
+}
+
+template <typename T>
+const T* find_in(const std::map<std::string, std::unique_ptr<T>>& m, const std::string& name) {
+  auto it = m.find(name);
+  return it == m.end() ? nullptr : it->second.get();
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_or_create(histograms_, name);
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_in(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_in(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_in(histograms_, name);
+}
+
+void MetricsRegistry::dump(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(6);
+  for (const auto& [name, c] : counters_) {
+    os << name << " counter " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " gauge " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " histogram count=" << h->count();
+    if (h->count() > 0) {
+      os << " mean=" << h->stat().mean() << " min=" << h->stat().min()
+         << " max=" << h->stat().max() << " p50=" << h->samples().quantile(0.5)
+         << " p99=" << h->samples().quantile(0.99);
+    }
+    os << "\n";
+  }
+  os.precision(precision);
+  os.flags(flags);
+}
+
+}  // namespace dyrs::obs

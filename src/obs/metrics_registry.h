@@ -1,0 +1,97 @@
+// MetricsRegistry — named counters, gauges and streaming histograms.
+//
+// The continuous-telemetry spine the paper's evaluation leans on (per-node
+// bandwidth, straggler tails, memory-read fractions): every layer registers
+// instruments by name and updates them on its hot path. Design constraints:
+//
+//  * Lookup happens once, at wiring time — callers cache the returned
+//    `Counter&`/`Gauge&`/`Histogram&`, so steady-state updates are a single
+//    atomic add (counter), atomic store (gauge) or two vector pushes
+//    (histogram). Instruments are stored behind unique_ptr, so references
+//    stay valid for the registry's lifetime.
+//  * Counters and gauges are atomic: the simulated stack is single-threaded
+//    but the real-threaded runtime (src/rt) updates them from worker
+//    threads. Histograms store samples and are sim-thread-only.
+//  * Iteration (dump/snapshot) is name-ordered, so two identical runs
+//    print identical output — the same determinism contract the tracer
+//    keeps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/summary.h"
+
+namespace dyrs::obs {
+
+/// Monotonic event count (migrations completed, reads served, ...).
+class Counter {
+ public:
+  void inc() { v_.fetch_add(1, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-observed level (queue depth, buffer occupancy, utilization).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Streaming distribution: constant-memory moments (RunningStat) plus the
+/// stored samples (SampleSet) the figure benches need for exact quantiles.
+class Histogram {
+ public:
+  void add(double x) {
+    stat_.add(x);
+    samples_.add(x);
+  }
+  const RunningStat& stat() const { return stat_; }
+  SampleSet& samples() { return samples_; }
+  std::size_t count() const { return stat_.count(); }
+
+ private:
+  RunningStat stat_;
+  SampleSet samples_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Instrument accessors create on first use. Thread-safe; the returned
+  /// reference is stable for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Lookup without creation; nullptr when the instrument doesn't exist.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// One line per instrument, name-ordered: `name type value [mean/p50/p99]`.
+  void dump(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;  // guards map structure, not instrument updates
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dyrs::obs

@@ -1,0 +1,56 @@
+// Observability — the bundle an instrumented stack shares.
+//
+// One MetricsRegistry plus one Tracer, with sink ownership helpers. The
+// Testbed owns one of these and hands pointers to every layer; standalone
+// users (rt demos, unit tests) can construct their own.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace dyrs::obs {
+
+class Observability {
+ public:
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Routes trace events to an in-memory buffer; returns it for assertions.
+  MemorySink& trace_to_memory() {
+    auto sink = std::make_unique<MemorySink>();
+    MemorySink& ref = *sink;
+    owned_sink_ = std::move(sink);
+    tracer_.set_sink(owned_sink_.get());
+    return ref;
+  }
+
+  /// Routes trace events to a JSONL file (truncates existing content).
+  void trace_to_jsonl(const std::string& path) {
+    owned_sink_ = std::make_unique<JsonlFileSink>(path);
+    tracer_.set_sink(owned_sink_.get());
+  }
+
+  /// Routes trace events to a caller-owned sink (nullptr disables tracing).
+  void trace_to(TraceSink* sink) {
+    owned_sink_.reset();
+    tracer_.set_sink(sink);
+  }
+
+  /// Disables tracing and releases any owned sink (flushing a file sink).
+  void stop_tracing() {
+    tracer_.set_sink(nullptr);
+    owned_sink_.reset();
+  }
+
+ private:
+  MetricsRegistry registry_;
+  Tracer tracer_;
+  std::unique_ptr<TraceSink> owned_sink_;
+};
+
+}  // namespace dyrs::obs

@@ -1,0 +1,66 @@
+#include "obs/sampler.h"
+
+#include "common/check.h"
+
+namespace dyrs::obs {
+
+PeriodicSampler::PeriodicSampler(sim::Simulator& sim, MetricsRegistry* registry, Tracer* tracer,
+                                 SimDuration cadence)
+    : sim_(sim), registry_(registry), tracer_(tracer), cadence_(cadence) {
+  DYRS_CHECK(cadence > 0);
+}
+
+PeriodicSampler::~PeriodicSampler() { timer_.cancel(); }
+
+void PeriodicSampler::add_probe(const std::string& name, Probe probe) {
+  DYRS_CHECK_MSG(probe != nullptr, "null probe " << name);
+  for (const auto& e : entries_) {
+    DYRS_CHECK_MSG(e.name != name, "duplicate probe " << name);
+  }
+  Entry entry;
+  entry.name = name;
+  entry.probe = std::move(probe);
+  entry.series = TimeSeries(name);
+  if (registry_ != nullptr) entry.gauge = &registry_->gauge(name);
+  entries_.push_back(std::move(entry));
+}
+
+void PeriodicSampler::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = sim_.every(cadence_, [this]() { sample_now(); });
+}
+
+void PeriodicSampler::stop() {
+  timer_.cancel();
+  running_ = false;
+}
+
+void PeriodicSampler::sample_now() {
+  const SimTime now = sim_.now();
+  for (auto& e : entries_) {
+    const double v = e.probe();
+    e.series.record(now, v);
+    if (e.gauge != nullptr) e.gauge->set(v);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->emit(TraceEvent(now, "sample").with("name", e.name).with("value", v));
+    }
+  }
+}
+
+const TimeSeries& PeriodicSampler::series(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return e.series;
+  }
+  DYRS_CHECK_MSG(false, "no probe named " << name);
+  throw CheckError("unreachable");  // silences -Wreturn-type; check throws
+}
+
+std::vector<std::string> PeriodicSampler::probe_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace dyrs::obs

@@ -1,0 +1,67 @@
+// Periodic per-node telemetry sampling.
+//
+// Probes are plain callables registered under a name; every tick the
+// sampler evaluates them in registration order, records each value in a
+// TimeSeries, mirrors it into a registry gauge, and (when tracing) emits
+// one `sample` event per probe. Probes keep the obs layer free of
+// dependencies on cluster/dfs/dyrs: the owner (Testbed) wires lambdas that
+// close over whatever resource they observe — disk/NIC utilization, memory
+// buffer occupancy, pending-queue depth (ISSUE: Figs 1, 7, 9 telemetry).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timeseries.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace dyrs::obs {
+
+class PeriodicSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  /// `registry` and `tracer` may be null; sampling then only fills the
+  /// per-probe TimeSeries.
+  PeriodicSampler(sim::Simulator& sim, MetricsRegistry* registry, Tracer* tracer,
+                  SimDuration cadence);
+  ~PeriodicSampler();
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  /// Registers a probe. Call before start(); names must be unique.
+  void add_probe(const std::string& name, Probe probe);
+
+  /// Starts the periodic tick (first sample after one cadence).
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Evaluates every probe once, immediately (also used by each tick).
+  void sample_now();
+
+  SimDuration cadence() const { return cadence_; }
+  const TimeSeries& series(const std::string& name) const;
+  std::vector<std::string> probe_names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Probe probe;
+    TimeSeries series;
+    Gauge* gauge = nullptr;  // mirror in the registry, if one is attached
+  };
+
+  sim::Simulator& sim_;
+  MetricsRegistry* registry_;
+  Tracer* tracer_;
+  SimDuration cadence_;
+  std::vector<Entry> entries_;
+  sim::EventHandle timer_;
+  bool running_ = false;
+};
+
+}  // namespace dyrs::obs

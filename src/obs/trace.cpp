@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace dyrs::obs {
+
+namespace {
+/// Round-trippable, locale-independent double formatting. %.17g preserves
+/// every bit; the shortest-representation pass keeps traces readable for
+/// common values (0.5, 3.25, ...). Deterministic for a given value.
+std::string format_double(double v) {
+  char buf[40];
+  for (int precision : {9, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  return buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+TraceEvent& TraceEvent::with(std::string key, std::string value) {
+  fields.push_back({std::move(key), std::move(value), 0, Kind::String});
+  return *this;
+}
+
+TraceEvent& TraceEvent::with(std::string key, const char* value) {
+  return with(std::move(key), std::string(value));
+}
+
+TraceEvent& TraceEvent::with(std::string key, std::int64_t value) {
+  fields.push_back({std::move(key), {}, value, Kind::Int});
+  return *this;
+}
+
+TraceEvent& TraceEvent::with(std::string key, double value) {
+  fields.push_back({std::move(key), format_double(value), 0, Kind::Double});
+  return *this;
+}
+
+TraceEvent& TraceEvent::with_bool(std::string key, bool value) {
+  fields.push_back({std::move(key), {}, value ? 1 : 0, Kind::Bool});
+  return *this;
+}
+
+const TraceEvent::Field* TraceEvent::find(const std::string& key) const {
+  for (const auto& f : fields) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+std::string TraceEvent::str(const std::string& key, const std::string& fallback) const {
+  const Field* f = find(key);
+  return f != nullptr ? f->str : fallback;
+}
+
+std::int64_t TraceEvent::i64(const std::string& key, std::int64_t fallback) const {
+  const Field* f = find(key);
+  if (f == nullptr) return fallback;
+  if (f->kind == Kind::Int || f->kind == Kind::Bool) return f->i;
+  return fallback;
+}
+
+double TraceEvent::f64(const std::string& key, double fallback) const {
+  const Field* f = find(key);
+  if (f == nullptr) return fallback;
+  switch (f->kind) {
+    case Kind::Int:
+    case Kind::Bool: return static_cast<double>(f->i);
+    case Kind::Double: {
+      double v = fallback;
+      std::sscanf(f->str.c_str(), "%lf", &v);
+      return v;
+    }
+    case Kind::String: return fallback;
+  }
+  return fallback;
+}
+
+std::string to_json(const TraceEvent& e) {
+  std::string out;
+  out.reserve(64 + e.fields.size() * 24);
+  out += "{\"t\":";
+  out += std::to_string(e.at);
+  out += ",\"type\":\"";
+  append_escaped(out, e.type);
+  out += '"';
+  for (const auto& f : e.fields) {
+    out += ",\"";
+    append_escaped(out, f.key);
+    out += "\":";
+    switch (f.kind) {
+      case TraceEvent::Kind::String:
+        out += '"';
+        append_escaped(out, f.str);
+        out += '"';
+        break;
+      case TraceEvent::Kind::Int: out += std::to_string(f.i); break;
+      case TraceEvent::Kind::Double: out += f.str; break;
+      case TraceEvent::Kind::Bool: out += f.i != 0 ? "true" : "false"; break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+struct JsonlFileSink::Impl {
+  std::ofstream os;
+};
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->os.open(path, std::ios::out | std::ios::trunc);
+  DYRS_CHECK_MSG(impl_->os.is_open(), "cannot open trace file " << path);
+}
+
+JsonlFileSink::~JsonlFileSink() = default;
+
+void JsonlFileSink::emit(const TraceEvent& e) { impl_->os << to_json(e) << "\n"; }
+
+}  // namespace dyrs::obs

@@ -1,0 +1,121 @@
+// Structured trace events and sinks.
+//
+// Every instrumented layer emits flat, typed events (migration lifecycle,
+// reads, job/task transitions, periodic samples) stamped with sim time.
+// Determinism contract: the simulator is single-threaded and events are
+// emitted in event-execution order with fixed field order and fixed number
+// formatting, so two runs of the same seeded scenario produce byte-identical
+// JSONL output — tests and CI diff traces instead of only comparing final
+// aggregates.
+//
+// Cost contract: a Tracer with no sink is disabled; instrumented call sites
+// guard with `tracer && tracer->enabled()`, so the disabled path is a null
+// pointer check and no event is ever constructed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dyrs::obs {
+
+/// One flat trace event: sim time, a type tag, and ordered key/value
+/// fields. Field order is preserved into the JSON output; values keep
+/// their kind so numbers serialize unquoted.
+struct TraceEvent {
+  enum class Kind { String, Int, Double, Bool };
+  struct Field {
+    std::string key;
+    std::string str;     // String payload (and formatted Double payload)
+    std::int64_t i = 0;  // Int/Bool payload
+    Kind kind = Kind::String;
+  };
+
+  SimTime at = 0;
+  std::string type;
+  std::vector<Field> fields;
+
+  TraceEvent() = default;
+  TraceEvent(SimTime t, std::string event_type) : at(t), type(std::move(event_type)) {}
+
+  TraceEvent& with(std::string key, std::string value);
+  TraceEvent& with(std::string key, const char* value);
+  TraceEvent& with(std::string key, std::int64_t value);
+  TraceEvent& with(std::string key, int value) {
+    return with(std::move(key), static_cast<std::int64_t>(value));
+  }
+  TraceEvent& with(std::string key, double value);
+  TraceEvent& with_bool(std::string key, bool value);
+
+  /// Field payloads by key; nullptr / defaults when absent.
+  const Field* find(const std::string& key) const;
+  std::string str(const std::string& key, const std::string& fallback = "") const;
+  std::int64_t i64(const std::string& key, std::int64_t fallback = -1) const;
+  double f64(const std::string& key, double fallback = 0.0) const;
+};
+
+/// One JSON object per event: {"t":<us>,"type":"...",...}. No trailing
+/// newline; JSONL writers append it.
+std::string to_json(const TraceEvent& e);
+
+/// Destination for emitted events.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& e) = 0;
+};
+
+/// Keeps events in memory — tests and the trace reader assert on these.
+class MemorySink final : public TraceSink {
+ public:
+  void emit(const TraceEvent& e) override { events_.push_back(e); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Serializes events as JSON lines to a stream the caller owns.
+class JsonlStreamSink final : public TraceSink {
+ public:
+  explicit JsonlStreamSink(std::ostream& os) : os_(os) {}
+  void emit(const TraceEvent& e) override { os_ << to_json(e) << "\n"; }
+
+ private:
+  std::ostream& os_;
+};
+
+/// Owns an output file and writes JSON lines to it.
+class JsonlFileSink final : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+  void emit(const TraceEvent& e) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The handle instrumented layers hold. Disabled (no sink) by default.
+class Tracer {
+ public:
+  bool enabled() const { return sink_ != nullptr; }
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+
+  void emit(const TraceEvent& e) {
+    if (sink_ != nullptr) sink_->emit(e);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace dyrs::obs

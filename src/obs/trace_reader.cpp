@@ -1,0 +1,243 @@
+#include "obs/trace_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dyrs::obs {
+
+namespace {
+
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  TraceEvent parse() {
+    TraceEvent e;
+    expect('{');
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      skip_ws();
+      if (key == "t") {
+        e.at = parse_int();
+      } else if (key == "type") {
+        e.type = parse_string();
+      } else {
+        e.fields.push_back(parse_field(key));
+      }
+    }
+    return e;
+  }
+
+ private:
+  char peek() {
+    skip_ws();
+    DYRS_CHECK_MSG(pos_ < s_.size(), "truncated trace line: " << s_);
+    return s_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  void expect(char c) {
+    DYRS_CHECK_MSG(peek() == c, "expected '" << c << "' at " << pos_ << " in: " << s_);
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            DYRS_CHECK_MSG(pos_ + 4 <= s_.size(), "bad \\u escape in: " << s_);
+            c = static_cast<char>(std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc; break;  // \" and \\ and anything else literal
+        }
+      }
+      out += c;
+    }
+    DYRS_CHECK_MSG(pos_ < s_.size(), "unterminated string in: " << s_);
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::int64_t parse_int() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    DYRS_CHECK_MSG(pos_ > start, "expected integer at " << start << " in: " << s_);
+    return std::strtoll(s_.substr(start, pos_ - start).c_str(), nullptr, 10);
+  }
+
+  TraceEvent::Field parse_field(const std::string& key) {
+    TraceEvent::Field f;
+    f.key = key;
+    const char c = peek();
+    if (c == '"') {
+      f.kind = TraceEvent::Kind::String;
+      f.str = parse_string();
+    } else if (c == 't' || c == 'f') {
+      f.kind = TraceEvent::Kind::Bool;
+      const bool is_true = s_.compare(pos_, 4, "true") == 0;
+      DYRS_CHECK_MSG(is_true || s_.compare(pos_, 5, "false") == 0, "bad literal in: " << s_);
+      f.i = is_true ? 1 : 0;
+      pos_ += is_true ? 4 : 5;
+    } else {
+      // Number: integer unless it carries a fraction or exponent.
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                  s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                                  s_[pos_] == 'e' || s_[pos_] == 'E')) {
+        ++pos_;
+      }
+      DYRS_CHECK_MSG(pos_ > start, "expected value at " << start << " in: " << s_);
+      const std::string num = s_.substr(start, pos_ - start);
+      if (num.find_first_of(".eE") == std::string::npos) {
+        f.kind = TraceEvent::Kind::Int;
+        f.i = std::strtoll(num.c_str(), nullptr, 10);
+      } else {
+        f.kind = TraceEvent::Kind::Double;
+        f.str = num;
+      }
+    }
+    return f;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TraceEvent parse_json_line(const std::string& line) { return LineParser(line).parse(); }
+
+std::vector<TraceEvent> read_jsonl(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    events.push_back(parse_json_line(line));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> read_jsonl_file(const std::string& path) {
+  std::ifstream is(path);
+  DYRS_CHECK_MSG(is.is_open(), "cannot open trace file " << path);
+  return read_jsonl(is);
+}
+
+std::vector<const TraceEvent*> TraceReader::of_type(const std::string& type) const {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events_) {
+    if (e.type == type) out.push_back(&e);
+  }
+  return out;
+}
+
+std::size_t TraceReader::count_of(const std::string& type) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+std::vector<MigrationSpan> TraceReader::migration_spans() const {
+  std::vector<MigrationSpan> out;
+  std::unordered_map<std::int64_t, MigrationSpan> open;
+
+  auto close = [&out, &open](std::int64_t block) {
+    auto it = open.find(block);
+    if (it != open.end()) {
+      out.push_back(it->second);
+      open.erase(it);
+    }
+  };
+  auto span_of = [&open](const TraceEvent& e) -> MigrationSpan& {
+    const std::int64_t block = e.i64("block");
+    auto [it, inserted] = open.try_emplace(block);
+    if (inserted) it->second.block = BlockId(block);
+    return it->second;
+  };
+
+  for (const auto& e : events_) {
+    if (e.type == "mig_enqueue") {
+      // A re-enqueue after a terminal event starts a fresh lifecycle; a
+      // second job joining an existing pending entry does not re-emit.
+      const std::int64_t block = e.i64("block");
+      auto it = open.find(block);
+      if (it != open.end() && (it->second.completed || it->second.aborted)) close(block);
+      span_of(e).enqueued_at = e.at;
+    } else if (e.type == "mig_target") {
+      MigrationSpan& s = span_of(e);
+      s.targeted_at = e.at;
+      s.node = NodeId(e.i64("node"));
+    } else if (e.type == "mig_bind") {
+      MigrationSpan& s = span_of(e);
+      s.bound_at = e.at;
+      s.node = NodeId(e.i64("node"));
+    } else if (e.type == "mig_transfer_start") {
+      MigrationSpan& s = span_of(e);
+      if (s.transfer_started_at < 0) s.transfer_started_at = e.at;
+      s.node = NodeId(e.i64("node"));
+    } else if (e.type == "mig_transfer_retry") {
+      ++span_of(e).retries;
+    } else if (e.type == "mig_complete") {
+      MigrationSpan& s = span_of(e);
+      s.completed = true;
+      s.finished_at = e.at;
+      s.node = NodeId(e.i64("node"));
+      close(e.i64("block"));
+    } else if (e.type == "mig_abort") {
+      MigrationSpan& s = span_of(e);
+      s.aborted = true;
+      s.finished_at = e.at;
+      s.abort_reason = e.str("reason");
+      close(e.i64("block"));
+    }
+  }
+  // Lifecycles still open at end-of-trace (e.g. cancelled runs) are
+  // reported as-is so callers can see what never finished; sorted by block
+  // because the map iteration order is unspecified.
+  std::vector<MigrationSpan> leftover;
+  for (auto& [block, span] : open) leftover.push_back(span);
+  std::sort(leftover.begin(), leftover.end(),
+            [](const MigrationSpan& a, const MigrationSpan& b) { return a.block < b.block; });
+  out.insert(out.end(), leftover.begin(), leftover.end());
+  return out;
+}
+
+std::vector<MigrationSpan> TraceReader::complete_spans() const {
+  std::vector<MigrationSpan> out;
+  for (const auto& s : migration_spans()) {
+    if (s.complete()) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace dyrs::obs

@@ -1,0 +1,71 @@
+// Trace reader — parse JSONL traces back into events and assemble
+// migration-lifecycle spans, so tests and bench figures can assert on the
+// event stream instead of only on end-of-run aggregates.
+//
+// The parser handles exactly the flat schema to_json() writes (one object
+// per line, string/number/bool values, no nesting) — it is a reader for
+// our own traces, not a general JSON library.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "obs/trace.h"
+
+namespace dyrs::obs {
+
+/// Parses one JSONL line; throws CheckError on malformed input.
+TraceEvent parse_json_line(const std::string& line);
+
+/// Parses a whole JSONL stream/file (blank lines skipped).
+std::vector<TraceEvent> read_jsonl(std::istream& is);
+std::vector<TraceEvent> read_jsonl_file(const std::string& path);
+
+/// One migration's reconstructed lifecycle on the node that completed (or
+/// last touched) it: enqueue -> target -> bind -> transfer start/retries ->
+/// completion or abort.
+struct MigrationSpan {
+  BlockId block = BlockId::invalid();
+  NodeId node = NodeId::invalid();  // bound/completing node, if any
+  SimTime enqueued_at = -1;
+  SimTime targeted_at = -1;
+  SimTime bound_at = -1;
+  SimTime transfer_started_at = -1;
+  SimTime finished_at = -1;  // completion or abort time
+  int retries = 0;
+  bool completed = false;
+  bool aborted = false;
+  std::string abort_reason;
+
+  /// Full happy-path span: enqueue, bind, transfer start and completion all
+  /// present in order.
+  bool complete() const {
+    return completed && enqueued_at >= 0 && bound_at >= enqueued_at &&
+           transfer_started_at >= bound_at && finished_at >= transfer_started_at;
+  }
+};
+
+class TraceReader {
+ public:
+  explicit TraceReader(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::vector<const TraceEvent*> of_type(const std::string& type) const;
+  std::size_t count_of(const std::string& type) const;
+
+  /// Groups migration-lifecycle events by block. A block migrated more than
+  /// once (requeue after crash, re-reference after eviction) yields one
+  /// span per completed/aborted attempt plus at most one open span.
+  std::vector<MigrationSpan> migration_spans() const;
+
+  /// Spans that reached completion with a well-formed lifecycle.
+  std::vector<MigrationSpan> complete_spans() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dyrs::obs

@@ -8,6 +8,12 @@ namespace dyrs::rt {
 
 RtMaster::RtMaster(Options options) : options_(std::move(options)) {
   DYRS_CHECK(!options_.slaves.empty());
+  if (options_.registry != nullptr) {
+    ctr_completed_ = &options_.registry->counter("rt.migrations.completed");
+    ctr_cancelled_ = &options_.registry->counter("rt.migrations.cancelled");
+    ctr_retarget_passes_ = &options_.registry->counter("rt.retarget.passes");
+    ctr_pulls_ = &options_.registry->counter("rt.pulls");
+  }
   for (const auto& slave_opts : options_.slaves) {
     auto slave = std::make_unique<RtSlave>(
         slave_opts, [this](const RtMigrationDone& d) { on_complete(d); },
@@ -51,6 +57,7 @@ void RtMaster::migrate(const std::vector<RtBlock>& blocks) {
 
 void RtMaster::retarget_locked() {
   if (pending_.empty()) return;
+  if (ctr_retarget_passes_ != nullptr) ctr_retarget_passes_->inc();
   std::vector<core::SlaveSnapshot> snapshots;
   snapshots.reserve(slaves_.size());
   for (auto& [id, slave] : slaves_) {
@@ -77,6 +84,7 @@ void RtMaster::retarget_loop(std::stop_token st) {
 }
 
 std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
+  if (ctr_pulls_ != nullptr) ctr_pulls_->inc();
   std::vector<RtMigration> out;
   std::lock_guard lock(mu_);
   auto it = pending_.begin();
@@ -91,6 +99,7 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
 }
 
 void RtMaster::on_complete(const RtMigrationDone& done) {
+  if (ctr_completed_ != nullptr) ctr_completed_->inc();
   std::lock_guard lock(mu_);
   ++completed_;
   ++per_node_[done.node];
@@ -103,6 +112,7 @@ bool RtMaster::cancel(BlockId block) {
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->block == block) {
         pending_.erase(it);
+        if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
         if (--outstanding_ == 0) idle_cv_.notify_all();
         return true;
       }
@@ -112,6 +122,7 @@ bool RtMaster::cancel(BlockId block) {
   // master lock is released, so the master->slave order never inverts.
   for (auto& [id, slave] : slaves_) {
     if (slave->cancel(block)) {
+      if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
       std::lock_guard lock(mu_);
       if (--outstanding_ == 0) idle_cv_.notify_all();
       return true;

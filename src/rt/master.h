@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dyrs/replica_selector.h"
+#include "obs/metrics_registry.h"
 #include "rt/slave.h"
 
 namespace dyrs::rt {
@@ -33,6 +34,11 @@ class RtMaster {
   struct Options {
     std::vector<RtSlave::Options> slaves;
     std::chrono::milliseconds retarget_interval{5};
+    /// Optional shared registry; the atomic counters (rt.migrations.*,
+    /// rt.retarget.passes, rt.pulls) are safe to bump from worker threads.
+    /// No tracer here: event ordering across threads is nondeterministic,
+    /// which would break the byte-identical-trace contract.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   explicit RtMaster(Options options);
@@ -74,6 +80,10 @@ class RtMaster {
   long completed_ = 0;
   std::unordered_map<NodeId, long> per_node_;
   std::unordered_map<NodeId, std::unique_ptr<RtSlave>> slaves_;
+  obs::Counter* ctr_completed_ = nullptr;
+  obs::Counter* ctr_cancelled_ = nullptr;
+  obs::Counter* ctr_retarget_passes_ = nullptr;
+  obs::Counter* ctr_pulls_ = nullptr;
   std::atomic<bool> shut_down_{false};
   std::jthread retargeter_;
 };

@@ -43,9 +43,10 @@ bool Simulator::idle() {
   return queue_.empty();
 }
 
-SimTime Simulator::next_event_time() {
+std::optional<SimTime> Simulator::next_event_time() {
   drop_cancelled_head();
-  return queue_.empty() ? -1 : queue_.top()->time;
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top()->time;
 }
 
 bool Simulator::step() {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -89,8 +90,10 @@ class Simulator {
   /// True when no runnable (non-cancelled) events remain.
   bool idle();
 
-  /// Time of the next runnable event, or -1 when idle.
-  SimTime next_event_time();
+  /// Time of the next runnable event, or nullopt when idle. An optional
+  /// rather than a sentinel: SimTime 0 is a valid event time and negative
+  /// times never enter the queue, so no in-band value can mean "none".
+  std::optional<SimTime> next_event_time();
 
   std::size_t events_executed() const { return executed_; }
 

@@ -42,6 +42,36 @@ TEST(Ewma, ForceOverridesWithoutCounting) {
   EXPECT_EQ(e.sample_count(), 1);
 }
 
+// Forcing a fresh estimator seeds it; sample_count() and empty() must agree
+// (the overdue correction can force before any migration completes).
+TEST(Ewma, ForceOnFreshEstimatorSeedsAndCounts) {
+  Ewma e(0.5);
+  e.force(10.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_EQ(e.sample_count(), 1);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ForceThenAddBlendsFromForcedValue) {
+  Ewma e(0.5);
+  e.force(10.0);
+  e.add(20.0);
+  // The forced value seeded the EWMA; the add blends against it.
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  EXPECT_EQ(e.sample_count(), 2);
+  EXPECT_FALSE(e.empty());
+}
+
+TEST(Ewma, ForceAfterResetReseeds) {
+  Ewma e(0.3);
+  e.add(1.0);
+  e.reset();
+  e.force(5.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_EQ(e.sample_count(), 1);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 5.0);
+}
+
 TEST(Ewma, ResetClears) {
   Ewma e(0.3);
   e.add(10.0);

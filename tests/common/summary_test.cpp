@@ -83,6 +83,41 @@ TEST(SampleSet, HistogramCountsAndBounds) {
   EXPECT_EQ(total, 10u);
 }
 
+TEST(SampleSet, QuantileWithDuplicates) {
+  // Heavy ties must not confuse the interpolation: with {1,2,2,2,3} every
+  // interior quantile between p25 and p75 lands on the plateau.
+  SampleSet s;
+  for (double v : {2.0, 1.0, 2.0, 3.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
+  EXPECT_NEAR(s.quantile(0.9), 2.6, 1e-12);  // pos 3.6: 2*(0.4) + 3*(0.6)
+}
+
+TEST(SampleSet, CdfAtExactSampleValues) {
+  // cdf_at is "fraction <= x" (upper_bound), so evaluating exactly at a
+  // sample value includes every copy of it.
+  SampleSet s;
+  for (double v : {1.0, 2.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.5), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.75);  // both 2s counted
+  EXPECT_DOUBLE_EQ(s.cdf_at(3.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsOnConstantData) {
+  SampleSet s;
+  for (int i = 0; i < 8; ++i) s.add(7.0);
+  auto pts = s.cdf_points(5);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pts[i].first, 7.0);  // a constant sample has one value
+    EXPECT_DOUBLE_EQ(pts[i].second, static_cast<double>(i) / 4.0);
+  }
+}
+
 TEST(SampleSet, QuantileOnEmptyThrows) {
   SampleSet s;
   EXPECT_THROW(s.quantile(0.5), CheckError);

@@ -73,6 +73,22 @@ TEST(Metrics, JobLookup) {
   EXPECT_THROW(m.job(JobId(8)), CheckError);
 }
 
+TEST(Metrics, FindJobIsNullableAndIndexed) {
+  Metrics m;
+  // Non-contiguous ids exercise the index rather than positional luck.
+  for (std::int64_t id : {3, 11, 7}) {
+    JobRecord r;
+    r.id = JobId(id);
+    r.name = "job-" + std::to_string(id);
+    m.add_job(r);
+  }
+  ASSERT_NE(m.find_job(JobId(11)), nullptr);
+  EXPECT_EQ(m.find_job(JobId(11))->name, "job-11");
+  EXPECT_EQ(m.find_job(JobId(7))->name, "job-7");
+  EXPECT_EQ(m.find_job(JobId(4)), nullptr);
+  EXPECT_EQ(m.find_job(JobId(11)), &m.job(JobId(11)));
+}
+
 TEST(JobRecord, DerivedDurations) {
   JobRecord j;
   j.submitted = seconds(10);

@@ -1,0 +1,103 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace dyrs::obs {
+namespace {
+
+TEST(Counter, IncAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, SetOverwrites) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, FeedsBothMomentsAndSamples) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.stat().mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.stat().min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.stat().max(), 4.0);
+  EXPECT_NEAR(h.samples().quantile(0.5), 2.5, 1e-12);
+}
+
+TEST(MetricsRegistry, AccessorsCreateOnceAndStayStable) {
+  MetricsRegistry r;
+  Counter& c1 = r.counter("a.count");
+  c1.inc();
+  Counter& c2 = r.counter("a.count");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 1);
+
+  Gauge& g1 = r.gauge("a.level");
+  EXPECT_EQ(&g1, &r.gauge("a.level"));
+  Histogram& h1 = r.histogram("a.dist");
+  EXPECT_EQ(&h1, &r.histogram("a.dist"));
+
+  // Same name in different instrument families is allowed and distinct.
+  r.counter("same");
+  r.gauge("same");
+  EXPECT_NE(static_cast<const void*>(r.find_counter("same")),
+            static_cast<const void*>(r.find_gauge("same")));
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.find_counter("x"), nullptr);
+  EXPECT_EQ(r.find_gauge("x"), nullptr);
+  EXPECT_EQ(r.find_histogram("x"), nullptr);
+  Counter& c = r.counter("x");
+  EXPECT_EQ(r.find_counter("x"), &c);
+  // find_counter must not have created gauges/histograms along the way.
+  EXPECT_EQ(r.find_gauge("x"), nullptr);
+  EXPECT_EQ(r.find_histogram("x"), nullptr);
+}
+
+TEST(MetricsRegistry, DumpIsNameOrderedAndDeterministic) {
+  MetricsRegistry r;
+  // Registered out of order on purpose; dump must sort by name.
+  r.counter("z.last").add(7);
+  r.counter("a.first").add(1);
+  r.gauge("m.mid").set(0.5);
+  r.histogram("empty.dist");
+  Histogram& h = r.histogram("d.dist");
+  for (double v : {1.0, 2.0, 3.0}) h.add(v);
+
+  std::ostringstream os;
+  r.dump(os);
+  EXPECT_EQ(os.str(),
+            "a.first counter 1\n"
+            "z.last counter 7\n"
+            "m.mid gauge 0.5\n"
+            "d.dist histogram count=3 mean=2 min=1 max=3 p50=2 p99=2.98\n"
+            "empty.dist histogram count=0\n");
+
+  std::ostringstream again;
+  r.dump(again);
+  EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(MetricsRegistry, DumpRestoresStreamFormatting) {
+  MetricsRegistry r;
+  r.gauge("g").set(1.0 / 3.0);
+  std::ostringstream os;
+  os.precision(3);
+  r.dump(os);
+  EXPECT_EQ(os.precision(), 3);
+}
+
+}  // namespace
+}  // namespace dyrs::obs

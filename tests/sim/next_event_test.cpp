@@ -1,14 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "common/units.h"
 #include "sim/simulator.h"
 
 namespace dyrs::sim {
 namespace {
 
-TEST(NextEventTime, MinusOneWhenIdle) {
+TEST(NextEventTime, EmptyWhenIdle) {
   Simulator sim;
-  EXPECT_EQ(sim.next_event_time(), -1);
+  EXPECT_EQ(sim.next_event_time(), std::nullopt);
 }
 
 TEST(NextEventTime, ReportsEarliestRunnable) {
@@ -27,7 +29,17 @@ TEST(NextEventTime, AdvancesAsEventsFire) {
   sim.step();
   EXPECT_EQ(sim.next_event_time(), seconds(3));
   sim.step();
-  EXPECT_EQ(sim.next_event_time(), -1);
+  EXPECT_FALSE(sim.next_event_time().has_value());
+}
+
+// Time 0 is a legitimate event time; the old -1 sentinel design made it
+// easy to conflate "event at t<=0" with "idle".
+TEST(NextEventTime, TimeZeroEventIsDistinguishableFromIdle) {
+  Simulator sim;
+  sim.schedule_at(0, [] {});
+  const auto next = sim.next_event_time();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 0);
 }
 
 }  // namespace
