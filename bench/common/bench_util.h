@@ -13,8 +13,19 @@
 
 #include "common/table.h"
 #include "exec/testbed.h"
+#include "obs/trace_analysis.h"
+#include "obs/trace_invariants.h"
 
 namespace dyrs::bench {
+
+/// True when DYRS_BENCH_SMOKE is set: the bench runs a scaled-down version
+/// of itself (tier-1 ctest smoke targets) — same code paths, small inputs.
+inline bool smoke_mode() { return std::getenv("DYRS_BENCH_SMOKE") != nullptr; }
+
+/// Picks the full-size or smoke-size parameter.
+inline double smoke_scaled(double full, double smoke) { return smoke_mode() ? smoke : full; }
+inline int smoke_scaled(int full, int smoke) { return smoke_mode() ? smoke : full; }
+
 
 /// The paper's testbed (§V-A): 7 datanodes, 1TB HDD (~160MiB/s), 128GB
 /// RAM, 10GbE, HDFS 256MB blocks, 3-way replication.
@@ -46,6 +57,22 @@ inline void print_header(const std::string& title, const std::string& paper_clai
 
 inline void print_shape_check(bool ok, const std::string& what) {
   std::cout << (ok ? "[SHAPE OK]   " : "[DIVERGES]   ") << what << "\n";
+}
+
+/// Wraps a finished run's in-memory trace in a reader. The figure benches
+/// derive their numbers from this instead of bespoke per-run counters, so
+/// bench output and `dyrsctl trace` can never disagree.
+inline obs::TraceReader trace_reader(const obs::MemorySink& sink) {
+  return obs::TraceReader(sink.events());
+}
+
+/// Runs the invariant oracle over a bench trace and prints a shape-check
+/// line: a figure number derived from a structurally broken trace is not
+/// evidence of anything.
+inline bool check_trace_invariants(const obs::TraceReader& reader, const std::string& what) {
+  const obs::InvariantReport report = obs::TraceInvariants{}.check(reader);
+  print_shape_check(report.ok(), what + ": trace invariants " + report.summary());
+  return report.ok();
 }
 
 inline double speedup(double baseline_s, double other_s) {

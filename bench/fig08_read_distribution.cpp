@@ -16,25 +16,27 @@ using namespace dyrs;
 namespace {
 
 std::map<NodeId, long> run_sort_reads(exec::Scheme scheme, bool slow_node) {
+  const double input_gib = bench::smoke_scaled(10.0, 2.0);
   exec::Testbed tb(bench::paper_config(scheme));
+  obs::MemorySink& sink = tb.trace_to_memory();
   if (slow_node) tb.add_persistent_interference(NodeId(bench::kSlowNode), 2);
   if (slow_node) bench::warm_up_estimators(tb);
-  tb.load_file("/sort/input", gib(10));
+  tb.load_file("/sort/input", gib(input_gib));
   wl::SortConfig sort;
-  sort.input = gib(10);
+  sort.input = gib(input_gib);
   sort.platform_overhead = seconds(8);
   tb.submit(wl::sort_job("/sort/input", sort));
   tb.run();
 
   // "Reads on each datanode": block-sized transfers served by that node —
-  // task reads (disk or memory) plus completed migration reads.
-  std::map<NodeId, long> reads;
-  for (NodeId id : tb.cluster().node_ids()) {
-    reads[id] = tb.client().reads_served(id);
-  }
-  if (tb.master() != nullptr) {
-    for (const auto& r : tb.master()->records()) ++reads[r.node];
-  }
+  // task reads (`read_done` events, disk or memory) plus completed
+  // migration reads (reassembled spans), straight from the trace.
+  obs::TraceReader reader = bench::trace_reader(sink);
+  bench::check_trace_invariants(reader, std::string(to_string(scheme)) +
+                                            (slow_node ? " slow-node" : " homogeneous"));
+  std::map<NodeId, long> reads = obs::TraceAnalysis(reader).reads_per_node(
+      /*include_migrations=*/true);
+  for (NodeId id : tb.cluster().node_ids()) reads.try_emplace(id, 0);
   return reads;
 }
 

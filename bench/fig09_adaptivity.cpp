@@ -21,6 +21,7 @@
 #include "dyrs/slave.h"
 #include "common/summary.h"
 #include "common/table.h"
+#include "obs/sampler.h"
 #include "workloads/sort.h"
 
 using namespace dyrs;
@@ -48,12 +49,15 @@ struct Pattern {
 };
 
 PatternResult run_pattern(const Pattern& pattern, bool overdue_correction) {
+  const double input_gib = bench::smoke_scaled(20.0, 4.0);
   exec::TestbedConfig config = bench::paper_config(exec::Scheme::Dyrs);
   config.master.slave.overdue_correction = overdue_correction;
   // Fewer map slots -> multiple map waves, so migrations stay active
   // across several interference cycles (as on the paper's 6-core nodes).
   config.map_slots_per_node = 4;
   exec::Testbed tb(config);
+  obs::MemorySink& sink = tb.trace_to_memory();
+  tb.enable_sampling();  // nodeX.dyrs.est_s_per_block probes, 1s cadence
 
   // The paper interferes with "node #1" (and #2); keep node ids 1 and 2.
   const NodeId n1(1), n2(2);
@@ -66,27 +70,32 @@ PatternResult run_pattern(const Pattern& pattern, bool overdue_correction) {
     }
   }
 
-  tb.load_file("/sort/input", gib(20));
+  tb.load_file("/sort/input", gib(input_gib));
   wl::SortConfig sort;
-  sort.input = gib(20);
+  sort.input = gib(input_gib);
   sort.platform_overhead = seconds(8);
   tb.submit(wl::sort_job("/sort/input", sort));
   tb.run();
 
+  // Everything below comes from the obs layer: runtime from the engine's
+  // job-duration histogram, estimate series from the sampled probe, and
+  // the migration window from the reassembled trace spans.
+  obs::TraceReader reader = bench::trace_reader(sink);
+  obs::TraceAnalysis analysis(reader);
+
   PatternResult result;
   result.name = pattern.name;
-  result.runtime_s = tb.metrics().jobs()[0].duration_s();
+  const obs::Histogram* job_hist = tb.registry().find_histogram("exec.job.duration_s");
+  result.runtime_s = job_hist != nullptr ? job_hist->stat().max() : 0;
 
   // Split the node-1 estimate series into interference-active and
   // -inactive phases and take medians, considering only the window in
   // which migrations actually ran (afterwards the estimate freezes at its
   // last value and would wash out the phase contrast). For persistent
   // interference, the whole run counts as "loaded".
-  SimTime last_migration = 0;
-  for (const auto& r : tb.master()->records()) {
-    last_migration = std::max(last_migration, r.finished_at);
-  }
-  const auto& series = tb.master()->estimate_series(n1);
+  const SimTime last_migration = std::max<SimTime>(analysis.last_migration_finish(), 0);
+  const TimeSeries series =
+      obs::sample_series(reader, "node" + std::to_string(n1.value()) + ".dyrs.est_s_per_block");
   SampleSet quiet, loaded;
   for (const auto& p : series.points()) {
     if (last_migration > 0 && p.time > last_migration) break;
@@ -175,12 +184,15 @@ TrackingResult run_tracking(SimDuration period, bool overdue) {
 
   cluster::AlternatingInterference interference(sim, cluster.node(NodeId(0)).disk(), period,
                                                 /*initially_active=*/true, 2);
-  TimeSeries series;
-  sim.every(seconds(1), [&sim, &slave, &series]() {
-    series.record(sim.now(), slave.estimator().seconds_per_block());
-  });
+  // The estimate series comes from a PeriodicSampler probe (same machinery
+  // the full testbed uses) instead of a hand-rolled recording timer.
+  obs::PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  sampler.add_probe("slave.est_s_per_block",
+                    [&slave]() { return slave.estimator().seconds_per_block(); });
+  sampler.start();
   sim.run_until(seconds(120));
   interference.stop();
+  const TimeSeries& series = sampler.series("slave.est_s_per_block");
 
   TrackingResult out;
   SampleSet on, off;

@@ -3,6 +3,9 @@
 // space) strands some of the final migrations on the slow node, creating
 // stragglers; DYRS assigns the last migrations only to nodes expected to
 // finish them earliest, so the tail stays short.
+//
+// All numbers come from the run's trace (TraceAnalysis tail spans), not
+// from master-side record bookkeeping.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -16,64 +19,57 @@ using namespace dyrs;
 namespace {
 
 struct TailResult {
-  // Last-30 migration records, time measured back from the last finish.
-  std::vector<core::MigrationRecord> tail;
+  obs::TailStats tail;       // last-30 completed migration spans, finish order
   SimTime last_finish = 0;
   long on_slow_node = 0;
-  double tail_span_s = 0;  // first-to-last finish gap within the tail
 };
 
 TailResult run(exec::Scheme scheme) {
+  const double input_gib = bench::smoke_scaled(20.0, 4.0);
   exec::TestbedConfig config = bench::paper_config(scheme);
   // Generous lead-time so the whole input migrates: the experiment studies
   // migration scheduling, not missed reads.
   exec::Testbed tb(config);
+  obs::MemorySink& sink = tb.trace_to_memory();
   tb.add_persistent_interference(NodeId(bench::kSlowNode), 2);
   // Long-running datanodes know their disks; without a warm estimator the
   // first targeting round cannot know node 0 is slow.
   bench::warm_up_estimators(tb);
-  tb.load_file("/sort/input", gib(20));
+  tb.load_file("/sort/input", gib(input_gib));
   wl::SortConfig sort;
-  sort.input = gib(20);
+  sort.input = gib(input_gib);
   sort.platform_overhead = seconds(5);
   sort.extra_lead_time = seconds(240);
   tb.submit(wl::sort_job("/sort/input", sort));
   tb.run();
 
-  auto records = tb.master()->records();
-  std::sort(records.begin(), records.end(),
-            [](const core::MigrationRecord& a, const core::MigrationRecord& b) {
-              return a.finished_at < b.finished_at;
-            });
+  obs::TraceReader reader = bench::trace_reader(sink);
+  bench::check_trace_invariants(reader, to_string(scheme));
   TailResult result;
-  const std::size_t n = std::min<std::size_t>(30, records.size());
-  result.tail.assign(records.end() - static_cast<std::ptrdiff_t>(n), records.end());
-  if (!result.tail.empty()) {
-    result.last_finish = result.tail.back().finished_at;
-    result.tail_span_s =
-        to_seconds(result.tail.back().finished_at - result.tail.front().finished_at);
-    for (const auto& r : result.tail) {
-      if (r.node == NodeId(bench::kSlowNode)) ++result.on_slow_node;
-    }
+  result.tail = obs::TraceAnalysis(reader).tail(30);
+  if (result.tail.window > 0) {
+    result.last_finish = result.tail.spans.back().finished_at;
+    auto it = result.tail.per_node.find(NodeId(bench::kSlowNode));
+    if (it != result.tail.per_node.end()) result.on_slow_node = it->second;
   }
   return result;
 }
 
 void print_timeline(const std::string& label, const TailResult& result) {
-  std::cout << "\n--- " << label << ": last " << result.tail.size()
+  std::cout << "\n--- " << label << ": last " << result.tail.window
             << " migrations (time relative to last finish) ---\n";
   TextTable table({"block", "node", "start (s)", "finish (s)", ""});
-  for (const auto& r : result.tail) {
-    const double start = to_seconds(r.started_at - result.last_finish);
-    const double finish = to_seconds(r.finished_at - result.last_finish);
-    const bool slow = r.node == NodeId(bench::kSlowNode);
-    table.add_row({std::to_string(r.block.value()),
-                   std::string("node") + std::to_string(r.node.value()) + (slow ? " (slow)" : ""),
+  for (const auto& s : result.tail.spans) {
+    const double start = to_seconds(s.transfer_started_at - result.last_finish);
+    const double finish = to_seconds(s.finished_at - result.last_finish);
+    const bool slow = s.node == NodeId(bench::kSlowNode);
+    table.add_row({std::to_string(s.block.value()),
+                   std::string("node") + std::to_string(s.node.value()) + (slow ? " (slow)" : ""),
                    TextTable::num(start, 1), TextTable::num(finish, 1),
                    slow ? "<== slow node" : ""});
   }
   table.print(std::cout);
-  std::cout << "tail span: " << TextTable::num(result.tail_span_s, 1)
+  std::cout << "tail span: " << TextTable::num(result.tail.span_s, 1)
             << "s, migrations on slow node in tail: " << result.on_slow_node << "\n";
 }
 
@@ -98,17 +94,9 @@ int main() {
   // The sharp claim is about the *final* migrations: a slow node may well
   // finish an early-assigned block inside the last-30 window, but the last
   // few completions must come from fast nodes only.
-  auto last_k_on_slow = [](const TailResult& r, std::size_t k) {
-    long on_slow = 0;
-    const std::size_t n = r.tail.size();
-    for (std::size_t i = n - std::min(k, n); i < n; ++i) {
-      if (r.tail[i].node == NodeId(bench::kSlowNode)) ++on_slow;
-    }
-    return on_slow;
-  };
-  bench::print_shape_check(last_k_on_slow(dyrs, 8) == 0,
+  bench::print_shape_check(dyrs.tail.last_k_on(NodeId(bench::kSlowNode), 8) == 0,
                            "DYRS's final migrations avoid the slow node entirely");
-  bench::print_shape_check(dyrs.tail_span_s <= naive.tail_span_s,
+  bench::print_shape_check(dyrs.tail.span_s <= naive.tail.span_s,
                            "DYRS's migration tail is no longer than the naive balancer's");
   return 0;
 }

@@ -5,6 +5,7 @@
 // the same backlog serialized vs fully concurrent across seek-penalty
 // settings, plus a queue-depth sweep showing the computed depth avoids
 // disk idleness without deep early binding.
+#include <functional>
 #include <iostream>
 
 #include "bench/common/bench_util.h"
@@ -20,9 +21,13 @@ double drain_time_s(double seek_alpha, int blocks, bool serialize) {
   sim::FairShareResource disk(sim, {.name = "d", .capacity = mib_per_sec(160),
                                     .seek_alpha = seek_alpha});
   SimTime last = 0;
+  // Declared at function scope: the completion callbacks run inside
+  // sim.run() below and recurse through `start`, so it must outlive the
+  // branch that initializes it.
+  std::function<void(int)> start;
   if (serialize) {
     // Chain: each completion starts the next block.
-    std::function<void(int)> start = [&](int remaining) {
+    start = [&](int remaining) {
       disk.start_flow(mib(256), [&, remaining](SimTime t) {
         last = t;
         if (remaining > 1) start(remaining - 1);

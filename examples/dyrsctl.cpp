@@ -8,6 +8,13 @@
 //   dyrsctl --compare --workload sort --input-gib 8    (all schemes)
 //
 // Prints job metrics and, for master-based schemes, migration statistics.
+//
+// The `trace` subcommand analyzes a previously captured JSONL trace:
+//
+//   dyrsctl trace run.jsonl            span table, per-node timelines,
+//                                      invariant verdict (exit 1 on violation)
+//   dyrsctl trace run.jsonl --strict-open   also flag open lifecycles
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -15,6 +22,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/trace_analysis.h"
+#include "obs/trace_invariants.h"
 #include "workloads/sort.h"
 #include "workloads/swim.h"
 #include "workloads/tpcds.h"
@@ -40,6 +49,7 @@ struct Args {
 [[noreturn]] void usage() {
   std::cerr <<
       "usage: dyrsctl [options]\n"
+      "       dyrsctl trace FILE.jsonl [--strict-open] [--tail N]\n"
       "  --scheme hdfs|inram|ignem|dyrs|naive   migration scheme (default dyrs)\n"
       "  --workload sort|swim|hive              workload (default sort)\n"
       "  --input-gib N                          sort input size (default 10)\n"
@@ -125,9 +135,126 @@ RunResult run_workload(exec::Scheme scheme, const Args& args) {
   return out;
 }
 
+[[noreturn]] void trace_usage() {
+  std::cerr << "usage: dyrsctl trace FILE.jsonl [--strict-open] [--tail N]\n"
+               "  --strict-open   flag lifecycles still open at end-of-trace\n"
+               "  --tail N        straggler window size (default 10)\n";
+  std::exit(2);
+}
+
+int run_trace_command(int argc, char** argv) {
+  std::string path;
+  bool strict_open = false;
+  std::size_t tail_window = 10;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--strict-open")) {
+      strict_open = true;
+    } else if (!std::strcmp(argv[i], "--tail") && i + 1 < argc) {
+      tail_window = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      trace_usage();
+    }
+  }
+  if (path.empty()) trace_usage();
+
+  obs::TraceReader reader(obs::read_jsonl_file(path));
+  obs::TraceAnalysis analysis(reader);
+
+  std::cout << path << ": " << reader.events().size() << " events\n";
+  for (const auto& [type, n] : analysis.event_counts()) {
+    std::cout << "  " << type << " x" << n << "\n";
+  }
+
+  const obs::SpanTable& spans = analysis.spans();
+  std::cout << "\n--- migration spans: " << spans.rows.size() << " lifecycles ("
+            << spans.completed << " completed, " << spans.aborted << " aborted, " << spans.open
+            << " open), " << spans.retries << " retries ---\n";
+  if (spans.completed > 0) {
+    obs::SpanTable& mut = const_cast<obs::SpanTable&>(spans);  // quantile() sorts lazily
+    TextTable stats({"phase", "mean (s)", "p50 (s)", "p99 (s)", "max (s)"});
+    auto stat_row = [&stats](const char* name, SampleSet& s) {
+      if (s.empty()) return;
+      stats.add_row({name, TextTable::num(s.mean(), 3), TextTable::num(s.quantile(0.5), 3),
+                     TextTable::num(s.quantile(0.99), 3), TextTable::num(s.max(), 3)});
+    };
+    stat_row("queue wait", mut.queue_wait_s);
+    stat_row("transfer", mut.transfer_s);
+    stat_row("enqueue->done", mut.total_s);
+    stats.print(std::cout);
+
+    // The slowest end-to-end migrations, the rows worth reading first.
+    std::vector<const obs::SpanRow*> slowest;
+    for (const obs::SpanRow& r : spans.rows) {
+      if (r.total_s >= 0) slowest.push_back(&r);
+    }
+    std::sort(slowest.begin(), slowest.end(), [](const obs::SpanRow* a, const obs::SpanRow* b) {
+      return a->total_s > b->total_s;
+    });
+    if (slowest.size() > 10) slowest.resize(10);
+    TextTable rows({"block", "node", "enqueue (s)", "wait (s)", "transfer (s)", "total (s)",
+                    "retries"});
+    for (const obs::SpanRow* r : slowest) {
+      rows.add_row({std::to_string(r->span.block.value()), std::to_string(r->span.node.value()),
+                    TextTable::num(to_seconds(r->span.enqueued_at), 1),
+                    TextTable::num(r->queue_wait_s, 3), TextTable::num(r->transfer_s, 3),
+                    TextTable::num(r->total_s, 3), std::to_string(r->span.retries)});
+    }
+    if (rows.row_count() > 0) {
+      std::cout << "slowest migrations:\n";
+      rows.print(std::cout);
+    }
+  }
+
+  std::cout << "\n--- per-node timelines ---\n";
+  TextTable nodes({"node", "binds", "starts", "retries", "failed", "completes", "aborts",
+                   "MiB", "mem reads", "disk reads", "active (s)", "last done (s)"});
+  for (const obs::NodeTimeline& tl : analysis.nodes()) {
+    const double active_s =
+        tl.first_event >= 0 ? to_seconds(tl.last_event - tl.first_event) : 0.0;
+    nodes.add_row({std::to_string(tl.node.value()), std::to_string(tl.binds),
+                   std::to_string(tl.transfer_starts), std::to_string(tl.retries),
+                   std::to_string(tl.transfer_failures), std::to_string(tl.completes),
+                   std::to_string(tl.aborts), TextTable::num(to_mib(tl.bytes_migrated), 0),
+                   std::to_string(tl.memory_reads), std::to_string(tl.disk_reads),
+                   TextTable::num(active_s, 1),
+                   tl.last_completion >= 0 ? TextTable::num(to_seconds(tl.last_completion), 1)
+                                           : "-"});
+  }
+  nodes.print(std::cout);
+
+  const obs::TailStats tail = analysis.tail(tail_window);
+  if (tail.window > 0) {
+    std::cout << "\nlast " << tail.window << " completions span "
+              << TextTable::num(tail.span_s, 2) << "s:";
+    for (const auto& [node, n] : tail.per_node) {
+      std::cout << " node" << node.value() << "=" << n;
+    }
+    std::cout << "\n";
+  }
+
+  obs::TraceInvariants oracle;
+  oracle.flag_open_lifecycles = strict_open;
+  const obs::InvariantReport report = oracle.check(reader);
+  std::cout << "\ninvariants: " << report.summary() << "\n";
+  if (report.open_at_end > 0 || report.abandoned_by_failover > 0 || report.zombie_events > 0) {
+    std::cout << "  (" << report.open_at_end << " open at end, " << report.abandoned_by_failover
+              << " abandoned by failover, " << report.zombie_events
+              << " tolerated zombie events)\n";
+  }
+  for (const obs::InvariantViolation& v : report.violations) {
+    std::cout << "  [" << v.rule << "] t=" << TextTable::num(to_seconds(v.at), 3) << "s event #"
+              << v.event_index << " block=" << v.block.value() << " node=" << v.node.value()
+              << ": " << v.detail << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "trace")) return run_trace_command(argc, argv);
   Args args;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> std::string {

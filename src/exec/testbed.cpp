@@ -96,6 +96,7 @@ faults::FaultInjector& Testbed::install_fault_plan(const faults::FaultPlan& plan
   DYRS_CHECK_MSG(injector_ == nullptr, "a fault plan is already installed");
   injector_ =
       std::make_unique<faults::FaultInjector>(sim_, *cluster_, *namenode_, config_.fault_seed);
+  injector_->set_tracer(&obs_.tracer());
   if (invariants_ != nullptr) {
     injector_->after_event = [this]() { invariants_->check_now("after-fault"); };
   }
@@ -151,6 +152,15 @@ obs::PeriodicSampler& Testbed::enable_sampling() {
     sampler_->add_probe(prefix + ".mem.pinned_bytes", [&node]() {
       return static_cast<double>(node.memory().pinned());
     });
+    if (master_ != nullptr) {
+      // Fig 9's quantity: the master's per-node migration-time estimate,
+      // sampled post-pulse (the master's heartbeat timer was created first,
+      // so it fires before the sampler at equal timestamps).
+      core::MigrationMaster* master = master_.get();
+      sampler_->add_probe(prefix + ".dyrs.est_s_per_block", [master, id]() {
+        return master->slave(id).estimator().seconds_per_block();
+      });
+    }
   }
   if (master_ != nullptr) {
     core::MigrationMaster* master = master_.get();

@@ -44,7 +44,21 @@ void FaultInjector::record(const std::string& line) {
   DYRS_LOG(Info, "faults") << trace_.back();
 }
 
+void FaultInjector::trace_transition(const FaultEvent& e, const char* phase) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  obs::TraceEvent ev(sim_.now(), "fault");
+  ev.with("kind", to_string(e.kind));
+  ev.with("node", e.node.value());
+  ev.with("phase", phase);
+  if (e.kind == FaultKind::IoErrors) ev.with("rate", e.rate);
+  if (e.kind == FaultKind::DiskDegradation) ev.with("factor", e.factor);
+  tracer_->emit(ev);
+}
+
 void FaultInjector::apply_start(const FaultEvent& e) {
+  // Emitted before the fault lands, so consequences (crash-hook aborts,
+  // requeues) appear after the marker in the trace.
+  trace_transition(e, "start");
   dfs::DataNode* dn = namenode_.datanode(e.node);
   switch (e.kind) {
     case FaultKind::ProcessCrash:
@@ -75,6 +89,7 @@ void FaultInjector::apply_start(const FaultEvent& e) {
 }
 
 void FaultInjector::apply_end(const FaultEvent& e) {
+  trace_transition(e, "end");
   dfs::DataNode* dn = namenode_.datanode(e.node);
   switch (e.kind) {
     case FaultKind::ProcessCrash:

@@ -34,6 +34,7 @@
 #include "common/random.h"
 #include "dfs/namenode.h"
 #include "faults/fault_plan.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace dyrs::faults {
@@ -54,6 +55,11 @@ class FaultInjector {
   /// registers itself here to check right after each fault).
   std::function<void()> after_event;
 
+  /// Emits `fault` trace events (kind/node/phase start|end) alongside each
+  /// transition, so trace tooling can reconstruct node-liveness windows —
+  /// the live-bind invariant needs them. Null disables emission.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Chronological, human-readable record of applied transitions.
   const std::vector<std::string>& trace() const { return trace_; }
 
@@ -64,6 +70,7 @@ class FaultInjector {
   void apply_start(const FaultEvent& e);
   void apply_end(const FaultEvent& e);
   void record(const std::string& line);
+  void trace_transition(const FaultEvent& e, const char* phase);
   bool roll_io_error(NodeId node);
   void refresh_degradation(NodeId node);
 
@@ -83,6 +90,7 @@ class FaultInjector {
 
   std::vector<sim::EventHandle> timers_;
   std::vector<std::string> trace_;
+  obs::Tracer* tracer_ = nullptr;
   long io_errors_injected_ = 0;
 };
 

@@ -10,10 +10,15 @@ PeriodicSampler::PeriodicSampler(sim::Simulator& sim, MetricsRegistry* registry,
   DYRS_CHECK(cadence > 0);
 }
 
-PeriodicSampler::~PeriodicSampler() { timer_.cancel(); }
+PeriodicSampler::~PeriodicSampler() {
+  timer_.cancel();
+  for (auto& t : own_timers_) t.cancel();
+}
 
-void PeriodicSampler::add_probe(const std::string& name, Probe probe) {
+void PeriodicSampler::add_probe(const std::string& name, Probe probe, SimDuration cadence) {
   DYRS_CHECK_MSG(probe != nullptr, "null probe " << name);
+  DYRS_CHECK_MSG(cadence >= 0, "negative cadence for probe " << name);
+  DYRS_CHECK_MSG(!running_, "add_probe after start: " << name);
   for (const auto& e : entries_) {
     DYRS_CHECK_MSG(e.name != name, "duplicate probe " << name);
   }
@@ -21,6 +26,7 @@ void PeriodicSampler::add_probe(const std::string& name, Probe probe) {
   entry.name = name;
   entry.probe = std::move(probe);
   entry.series = TimeSeries(name);
+  entry.cadence = cadence == cadence_ ? 0 : cadence;  // explicit global = default
   if (registry_ != nullptr) entry.gauge = &registry_->gauge(name);
   entries_.push_back(std::move(entry));
 }
@@ -28,24 +34,48 @@ void PeriodicSampler::add_probe(const std::string& name, Probe probe) {
 void PeriodicSampler::start() {
   if (running_) return;
   running_ = true;
-  timer_ = sim_.every(cadence_, [this]() { sample_now(); });
+  // One shared timer drives every global-cadence probe (registration order
+  // within the tick); each override gets its own timer, created in
+  // registration order so interleaving at coinciding times is fixed.
+  timer_ = sim_.every(cadence_, [this]() {
+    for (auto& e : entries_) {
+      if (e.cadence == 0) sample_entry(e);
+    }
+  });
+  for (auto& e : entries_) {
+    if (e.cadence == 0) continue;
+    Entry* entry = &e;  // entries_ is append-only and start() forbids adds
+    own_timers_.push_back(sim_.every(e.cadence, [this, entry]() { sample_entry(*entry); }));
+  }
 }
 
 void PeriodicSampler::stop() {
   timer_.cancel();
+  for (auto& t : own_timers_) t.cancel();
+  own_timers_.clear();
   running_ = false;
 }
 
-void PeriodicSampler::sample_now() {
+void PeriodicSampler::sample_entry(Entry& e) {
   const SimTime now = sim_.now();
-  for (auto& e : entries_) {
-    const double v = e.probe();
-    e.series.record(now, v);
-    if (e.gauge != nullptr) e.gauge->set(v);
-    if (tracer_ != nullptr && tracer_->enabled()) {
-      tracer_->emit(TraceEvent(now, "sample").with("name", e.name).with("value", v));
-    }
+  const double v = e.probe();
+  e.series.record(now, v);
+  if (e.gauge != nullptr) e.gauge->set(v);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->emit(TraceEvent(now, "sample").with("name", e.name).with("value", v));
   }
+}
+
+void PeriodicSampler::sample_now() {
+  for (auto& e : entries_) sample_entry(e);
+}
+
+SimDuration PeriodicSampler::probe_cadence(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return e.cadence == 0 ? cadence_ : e.cadence;
+  }
+  DYRS_CHECK_MSG(false, "no probe named " << name);
+  throw CheckError("unreachable");  // silences -Wreturn-type; check throws
 }
 
 const TimeSeries& PeriodicSampler::series(const std::string& name) const {

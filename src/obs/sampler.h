@@ -33,17 +33,24 @@ class PeriodicSampler {
   PeriodicSampler& operator=(const PeriodicSampler&) = delete;
 
   /// Registers a probe. Call before start(); names must be unique.
-  void add_probe(const std::string& name, Probe probe);
+  /// `cadence` overrides the sampler-wide interval for this probe
+  /// (0 = follow the global cadence). Probes sharing a cadence fire in
+  /// registration order at every tick; probes on different cadences
+  /// interleave deterministically (fixed timer creation order).
+  void add_probe(const std::string& name, Probe probe, SimDuration cadence = 0);
 
-  /// Starts the periodic tick (first sample after one cadence).
+  /// Starts the periodic ticks (each probe's first sample lands one of its
+  /// cadences after start).
   void start();
   void stop();
   bool running() const { return running_; }
 
-  /// Evaluates every probe once, immediately (also used by each tick).
+  /// Evaluates every probe once, immediately, regardless of cadence.
   void sample_now();
 
   SimDuration cadence() const { return cadence_; }
+  /// The effective interval of one probe (its override or the global one).
+  SimDuration probe_cadence(const std::string& name) const;
   const TimeSeries& series(const std::string& name) const;
   std::vector<std::string> probe_names() const;
 
@@ -52,15 +59,19 @@ class PeriodicSampler {
     std::string name;
     Probe probe;
     TimeSeries series;
-    Gauge* gauge = nullptr;  // mirror in the registry, if one is attached
+    Gauge* gauge = nullptr;    // mirror in the registry, if one is attached
+    SimDuration cadence = 0;   // 0 = sampled by the global tick
   };
+
+  void sample_entry(Entry& e);
 
   sim::Simulator& sim_;
   MetricsRegistry* registry_;
   Tracer* tracer_;
   SimDuration cadence_;
   std::vector<Entry> entries_;
-  sim::EventHandle timer_;
+  sim::EventHandle timer_;                   // global tick
+  std::vector<sim::EventHandle> own_timers_; // per-probe overrides
   bool running_ = false;
 };
 

@@ -1,0 +1,144 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+
+namespace dyrs::obs {
+
+namespace {
+
+NodeTimeline& timeline_for(std::map<NodeId, NodeTimeline>& by_node, NodeId node) {
+  auto [it, inserted] = by_node.try_emplace(node);
+  if (inserted) it->second.node = node;
+  return it->second;
+}
+
+void touch(NodeTimeline& tl, SimTime at) {
+  if (tl.first_event < 0 || at < tl.first_event) tl.first_event = at;
+  if (at > tl.last_event) tl.last_event = at;
+}
+
+}  // namespace
+
+long TailStats::last_k_on(NodeId node, std::size_t k) const {
+  long hits = 0;
+  const std::size_t n = spans.size();
+  const std::size_t start = k >= n ? 0 : n - k;
+  for (std::size_t i = start; i < n; ++i) {
+    if (spans[i].node == node) ++hits;
+  }
+  return hits;
+}
+
+TraceAnalysis::TraceAnalysis(const TraceReader& reader) {
+  for (const MigrationSpan& s : reader.migration_spans()) {
+    SpanRow row;
+    row.span = s;
+    if (s.enqueued_at >= 0 && s.bound_at >= 0) {
+      row.queue_wait_s = to_seconds(s.bound_at - s.enqueued_at);
+    }
+    if (s.completed && s.transfer_started_at >= 0) {
+      row.transfer_s = to_seconds(s.finished_at - s.transfer_started_at);
+    }
+    if (s.completed && s.enqueued_at >= 0) {
+      row.total_s = to_seconds(s.finished_at - s.enqueued_at);
+    }
+    if (s.completed) {
+      ++spans_.completed;
+      if (row.queue_wait_s >= 0) spans_.queue_wait_s.add(row.queue_wait_s);
+      if (row.transfer_s >= 0) spans_.transfer_s.add(row.transfer_s);
+      if (row.total_s >= 0) spans_.total_s.add(row.total_s);
+      if (s.finished_at > last_migration_finish_) last_migration_finish_ = s.finished_at;
+    } else if (s.aborted) {
+      ++spans_.aborted;
+    } else {
+      ++spans_.open;
+    }
+    spans_.retries += s.retries;
+    spans_.rows.push_back(std::move(row));
+  }
+
+  std::map<NodeId, NodeTimeline> by_node;
+  for (const TraceEvent& e : reader.events()) {
+    ++event_counts_[e.type];
+    const NodeId node(e.i64("node"));
+    if (!node.valid()) continue;
+    if (e.type == "mig_bind") {
+      NodeTimeline& tl = timeline_for(by_node, node);
+      ++tl.binds;
+      touch(tl, e.at);
+    } else if (e.type == "mig_transfer_start") {
+      NodeTimeline& tl = timeline_for(by_node, node);
+      ++tl.transfer_starts;
+      touch(tl, e.at);
+    } else if (e.type == "mig_transfer_retry") {
+      NodeTimeline& tl = timeline_for(by_node, node);
+      ++tl.retries;
+      touch(tl, e.at);
+    } else if (e.type == "mig_transfer_failed") {
+      NodeTimeline& tl = timeline_for(by_node, node);
+      ++tl.transfer_failures;
+      touch(tl, e.at);
+    } else if (e.type == "mig_complete") {
+      NodeTimeline& tl = timeline_for(by_node, node);
+      ++tl.completes;
+      tl.bytes_migrated += e.i64("size", 0);
+      touch(tl, e.at);
+      if (e.at > tl.last_completion) tl.last_completion = e.at;
+    } else if (e.type == "mig_abort") {
+      NodeTimeline& tl = timeline_for(by_node, node);
+      ++tl.aborts;
+      touch(tl, e.at);
+    } else if (e.type == "read_done") {
+      NodeTimeline& tl = timeline_for(by_node, node);
+      const std::string medium = e.str("medium");
+      if (medium == "local-memory" || medium == "remote-memory") {
+        ++tl.memory_reads;
+      } else {
+        ++tl.disk_reads;
+      }
+      touch(tl, e.at);
+    }
+  }
+  nodes_.reserve(by_node.size());
+  for (auto& [id, tl] : by_node) nodes_.push_back(std::move(tl));
+}
+
+TailStats TraceAnalysis::tail(std::size_t k) const {
+  std::vector<MigrationSpan> done;
+  for (const SpanRow& row : spans_.rows) {
+    if (row.span.completed) done.push_back(row.span);
+  }
+  std::stable_sort(done.begin(), done.end(), [](const MigrationSpan& a, const MigrationSpan& b) {
+    return a.finished_at < b.finished_at;
+  });
+  TailStats tail;
+  const std::size_t n = done.size();
+  const std::size_t start = k >= n ? 0 : n - k;
+  tail.spans.assign(done.begin() + static_cast<std::ptrdiff_t>(start), done.end());
+  tail.window = tail.spans.size();
+  if (tail.window > 1) {
+    tail.span_s = to_seconds(tail.spans.back().finished_at - tail.spans.front().finished_at);
+  }
+  for (const MigrationSpan& s : tail.spans) ++tail.per_node[s.node];
+  return tail;
+}
+
+std::map<NodeId, long> TraceAnalysis::reads_per_node(bool include_migrations) const {
+  std::map<NodeId, long> reads;
+  for (const NodeTimeline& tl : nodes_) {
+    const long direct = tl.memory_reads + tl.disk_reads;
+    const long total = direct + (include_migrations ? tl.completes : 0);
+    if (total > 0) reads[tl.node] = total;
+  }
+  return reads;
+}
+
+TimeSeries sample_series(const TraceReader& reader, const std::string& probe) {
+  TimeSeries series(probe);
+  for (const TraceEvent& e : reader.events()) {
+    if (e.type == "sample" && e.str("name") == probe) series.record(e.at, e.f64("value"));
+  }
+  return series;
+}
+
+}  // namespace dyrs::obs

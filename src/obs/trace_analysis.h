@@ -1,0 +1,111 @@
+// Trace-driven analysis: span tables and per-node timelines.
+//
+// Turns a raw event stream (TraceReader) into the two aggregate views the
+// figure benches and `dyrsctl trace` share: a per-block span table with
+// derived durations (queue wait, transfer time, retries, outcome) and a
+// per-node timeline (binds/transfers/failures/reads over sim time, plus
+// tail-span and straggler stats over the last completions). Benches derive
+// their numbers from these instead of bespoke per-run counters, so bench
+// output and trace tooling can never disagree.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/summary.h"
+#include "common/timeseries.h"
+#include "common/units.h"
+#include "obs/trace_reader.h"
+
+namespace dyrs::obs {
+
+/// One migration lifecycle with derived durations. Durations are -1 when
+/// the underlying phase events are missing (open or truncated lifecycles).
+struct SpanRow {
+  MigrationSpan span;
+  double queue_wait_s = -1;  // enqueue -> bind
+  double transfer_s = -1;    // transfer start -> finish
+  double total_s = -1;       // enqueue -> finish
+};
+
+/// All lifecycles in the trace, in TraceReader order (terminal order, then
+/// leftover open spans by block), plus distribution stats over the
+/// completed ones.
+struct SpanTable {
+  std::vector<SpanRow> rows;
+  std::size_t completed = 0;
+  std::size_t aborted = 0;
+  std::size_t open = 0;  // never reached a terminal event
+  long retries = 0;      // summed over all lifecycles
+  SampleSet queue_wait_s;  // completed spans with a visible enqueue
+  SampleSet transfer_s;    // completed spans
+  SampleSet total_s;       // completed spans with a visible enqueue
+};
+
+/// One node's activity summary: lifecycle event counts, read counts by
+/// medium class, and the sim-time window the node was active in.
+struct NodeTimeline {
+  NodeId node;
+  long binds = 0;
+  long transfer_starts = 0;
+  long retries = 0;
+  long transfer_failures = 0;  // retry budget exhausted
+  long completes = 0;
+  long aborts = 0;
+  Bytes bytes_migrated = 0;
+  long memory_reads = 0;  // read_done served from this node's RAM
+  long disk_reads = 0;    // read_done served from this node's disk
+  SimTime first_event = -1;  // first lifecycle/read event on this node
+  SimTime last_event = -1;
+  SimTime last_completion = -1;
+};
+
+/// The last `window` completed migrations by finish time — the straggler
+/// view of Fig 10. `span_s` is the first-to-last finish gap inside the
+/// window; `per_node` counts completions per node inside it.
+struct TailStats {
+  std::size_t window = 0;
+  double span_s = 0;
+  std::map<NodeId, long> per_node;
+  std::vector<MigrationSpan> spans;  // finish order
+
+  /// Completions on `node` among the last `k` of the window (k >= window
+  /// means the whole window) — "did the final migrations avoid node X".
+  long last_k_on(NodeId node, std::size_t k) const;
+};
+
+class TraceAnalysis {
+ public:
+  explicit TraceAnalysis(const TraceReader& reader);
+
+  const SpanTable& spans() const { return spans_; }
+  /// Sorted by node id; includes every node that appears in the trace.
+  const std::vector<NodeTimeline>& nodes() const { return nodes_; }
+
+  /// Tail of the last `k` completed migrations (by finish time).
+  TailStats tail(std::size_t k) const;
+
+  /// Total reads served per node (read_done events), optionally adding
+  /// completed migration reads — the quantity Fig 8 plots.
+  std::map<NodeId, long> reads_per_node(bool include_migrations) const;
+
+  /// Finish time of the last completed migration, or -1 if none.
+  SimTime last_migration_finish() const { return last_migration_finish_; }
+
+  /// Event counts by type, name-ordered (the trace's table of contents).
+  const std::map<std::string, std::size_t>& event_counts() const { return event_counts_; }
+
+ private:
+  SpanTable spans_;
+  std::vector<NodeTimeline> nodes_;
+  SimTime last_migration_finish_ = -1;
+  std::map<std::string, std::size_t> event_counts_;
+};
+
+/// The `sample` events of one probe as a TimeSeries — the obs-backed
+/// replacement for hand-rolled per-bench estimate/telemetry recording.
+TimeSeries sample_series(const TraceReader& reader, const std::string& probe);
+
+}  // namespace dyrs::obs

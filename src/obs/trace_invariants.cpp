@@ -1,0 +1,289 @@
+#include "obs/trace_invariants.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace dyrs::obs {
+
+namespace {
+
+enum class Phase { Idle, Pending, Bound, Transferring };
+
+struct BlockState {
+  Phase phase = Phase::Idle;
+  SimTime enqueued_at = -1;
+  NodeId bound_node = NodeId::invalid();
+  std::set<std::int64_t> zombies;  // nodes whose reclaimed binding may still emit
+};
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::Idle: return "idle";
+    case Phase::Pending: return "pending";
+    case Phase::Bound: return "bound";
+    case Phase::Transferring: return "transferring";
+  }
+  return "?";
+}
+
+bool is_down_fault(const std::string& kind) {
+  return kind == "process-crash" || kind == "server-death" || kind == "partition";
+}
+
+}  // namespace
+
+std::string InvariantReport::summary() const {
+  if (violations.empty()) return "OK";
+  std::map<std::string, std::size_t> per_rule;
+  for (const auto& v : violations) ++per_rule[v.rule];
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& [rule, n] : per_rule) os << " " << rule << "=" << n;
+  return os.str();
+}
+
+InvariantReport TraceInvariants::check(const TraceReader& reader) const {
+  InvariantReport report;
+  const auto& events = reader.events();
+  report.events = events.size();
+  report.memory_read_rule_active = reader.count_of("mig_enqueue") > 0;
+
+  std::map<std::int64_t, BlockState> blocks;
+  std::set<std::pair<std::int64_t, std::int64_t>> completed_on;  // (block, node)
+  std::map<std::int64_t, int> down;  // node -> active down-fault windows
+  bool failover_seen = false;
+  SimTime prev_at = 0;
+
+  auto violate = [&](const char* rule, std::size_t index, const TraceEvent& e,
+                     const std::string& detail) {
+    if (report.violations.size() >= max_violations) return;
+    InvariantViolation v;
+    v.rule = rule;
+    v.detail = detail;
+    v.event_index = index;
+    v.at = e.at;
+    v.block = BlockId(e.i64("block"));
+    v.node = NodeId(e.i64("node"));
+    report.violations.push_back(std::move(v));
+  };
+  // Abandons the open lifecycle without closing it properly; the bound node
+  // may keep transferring, so it becomes a zombie for this block.
+  auto abandon = [&](BlockState& st) {
+    if (st.bound_node.valid()) st.zombies.insert(st.bound_node.value());
+    st.phase = Phase::Idle;
+    st.enqueued_at = -1;
+    st.bound_node = NodeId::invalid();
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.at < prev_at) {
+      violate("order", i, e,
+              "time went backwards: " + std::to_string(e.at) + "us after " +
+                  std::to_string(prev_at) + "us");
+    }
+    prev_at = std::max(prev_at, e.at);
+
+    if (e.type == "fault") {
+      if (is_down_fault(e.str("kind"))) {
+        const std::int64_t node = e.i64("node");
+        if (e.str("phase") == "start") {
+          ++down[node];
+        } else if (down[node] > 0) {
+          --down[node];
+        }
+      }
+      continue;
+    }
+    if (e.type == "master_failover") {
+      failover_seen = true;
+      for (auto& [id, st] : blocks) {
+        if (st.phase == Phase::Idle) continue;
+        ++report.abandoned_by_failover;
+        abandon(st);
+      }
+      continue;
+    }
+    if (e.type == "read_done") {
+      const std::string medium = e.str("medium");
+      if (report.memory_read_rule_active &&
+          (medium == "local-memory" || medium == "remote-memory")) {
+        if (completed_on.count({e.i64("block"), e.i64("node")}) == 0) {
+          violate("memory-read", i, e,
+                  "memory read of block " + std::to_string(e.i64("block")) + " on node " +
+                      std::to_string(e.i64("node")) + " with no prior mig_complete there");
+        }
+      }
+      continue;
+    }
+    if (e.type.rfind("mig_", 0) != 0) continue;
+
+    const std::int64_t block = e.i64("block");
+    const std::int64_t node = e.i64("node");
+    auto [it, inserted] = blocks.try_emplace(block);
+    BlockState& st = it->second;
+    const bool zombie = node >= 0 && st.zombies.count(node) > 0;
+
+    if (e.type == "mig_enqueue") {
+      if (st.phase != Phase::Idle) {
+        if (failover_seen) {
+          ++report.zombie_events;
+          abandon(st);
+        } else {
+          violate("terminal", i, e,
+                  "re-enqueue while lifecycle is " + std::string(phase_name(st.phase)));
+          abandon(st);
+        }
+      }
+      st.phase = Phase::Pending;
+      st.enqueued_at = e.at;
+    } else if (e.type == "mig_target") {
+      if (st.phase == Phase::Idle) {
+        if (failover_seen) {
+          ++report.zombie_events;
+          st.phase = Phase::Pending;  // implicit lifecycle from re-inserted state
+        } else {
+          violate("order", i, e, "target without an open lifecycle");
+          st.phase = Phase::Pending;
+        }
+      } else if (st.phase != Phase::Pending) {
+        if (failover_seen) {
+          ++report.zombie_events;
+        } else {
+          violate("order", i, e,
+                  "target while lifecycle is " + std::string(phase_name(st.phase)));
+        }
+      }
+    } else if (e.type == "mig_bind") {
+      if (node >= 0 && down[node] > 0) {
+        violate("live-bind", i, e,
+                "bind to node " + std::to_string(node) + " inside a down-fault window");
+      }
+      st.zombies.erase(node);  // a fresh bind re-legitimizes the node
+      const std::int64_t wait_us = e.i64("wait_us");
+      if (wait_us < 0) {
+        violate("queue-wait", i, e, "negative wait_us " + std::to_string(wait_us));
+      }
+      if (st.phase == Phase::Pending) {
+        if (st.enqueued_at >= 0) {
+          if (e.at < st.enqueued_at) {
+            violate("order", i, e, "bind before enqueue");
+          } else if (wait_us >= 0 && wait_us != e.at - st.enqueued_at) {
+            violate("queue-wait", i, e,
+                    "wait_us " + std::to_string(wait_us) + " != bind-enqueue gap " +
+                        std::to_string(e.at - st.enqueued_at) + "us");
+          }
+        }
+      } else if (st.phase == Phase::Idle) {
+        if (failover_seen) {
+          ++report.zombie_events;  // re-inserted pending state, enqueue not re-emitted
+        } else {
+          violate("order", i, e, "bind without an open lifecycle");
+        }
+      } else {
+        if (failover_seen) {
+          ++report.zombie_events;
+        } else {
+          violate("order", i, e, "bind while lifecycle is " + std::string(phase_name(st.phase)));
+        }
+        abandon(st);
+        st.zombies.erase(node);
+      }
+      st.phase = Phase::Bound;
+      st.bound_node = NodeId(node);
+    } else if (e.type == "mig_transfer_start") {
+      if (zombie) {
+        ++report.zombie_events;
+      } else if (st.phase == Phase::Bound && node == st.bound_node.value()) {
+        st.phase = Phase::Transferring;
+      } else if (st.phase == Phase::Transferring && node == st.bound_node.value() &&
+                 e.i64("attempt", 1) > 1) {
+        // retry restarts the transfer on the same node with attempt > 1
+      } else if (failover_seen) {
+        ++report.zombie_events;
+      } else if (st.phase == Phase::Transferring && node == st.bound_node.value()) {
+        violate("order", i, e, "duplicate transfer_start (attempt 1)");
+      } else {
+        violate("order", i, e,
+                "transfer_start on node " + std::to_string(node) + " while lifecycle is " +
+                    phase_name(st.phase) + " (bound to " +
+                    std::to_string(st.bound_node.value()) + ")");
+      }
+    } else if (e.type == "mig_transfer_retry" || e.type == "mig_transfer_failed") {
+      if (zombie) {
+        ++report.zombie_events;
+      } else if (st.phase == Phase::Transferring && node == st.bound_node.value()) {
+        // retry keeps transferring; a permanent failure is terminalized by
+        // the io-error mig_abort the master emits right after
+      } else if (failover_seen) {
+        ++report.zombie_events;
+      } else {
+        violate("order", i, e,
+                e.type + " on node " + std::to_string(node) + " while lifecycle is " +
+                    phase_name(st.phase));
+      }
+    } else if (e.type == "mig_complete") {
+      completed_on.insert({block, node});
+      if (zombie) {
+        ++report.zombie_events;
+      } else if ((st.phase == Phase::Transferring || st.phase == Phase::Bound) &&
+                 node == st.bound_node.value()) {
+        if (st.phase == Phase::Bound) {
+          violate("order", i, e, "complete without transfer_start");
+        }
+        ++report.lifecycles_closed;
+        st.phase = Phase::Idle;
+        st.enqueued_at = -1;
+        st.bound_node = NodeId::invalid();
+      } else if (failover_seen) {
+        ++report.zombie_events;
+      } else if (st.phase == Phase::Idle) {
+        violate("terminal", i, e, "complete without an open lifecycle");
+      } else {
+        violate("terminal", i, e,
+                "complete on node " + std::to_string(node) + " while lifecycle is " +
+                    phase_name(st.phase) + " on node " +
+                    std::to_string(st.bound_node.value()));
+      }
+    } else if (e.type == "mig_abort") {
+      if (st.phase == Phase::Idle) {
+        if (failover_seen) {
+          ++report.zombie_events;
+        } else {
+          violate("terminal", i, e, "abort without an open lifecycle");
+        }
+      } else {
+        ++report.lifecycles_closed;
+        if (e.str("reason") == "heartbeat-loss") {
+          // The partitioned slave keeps working; tolerate its later events.
+          const NodeId z = node >= 0 ? NodeId(node) : st.bound_node;
+          if (z.valid()) st.zombies.insert(z.value());
+        }
+        st.phase = Phase::Idle;
+        st.enqueued_at = -1;
+        st.bound_node = NodeId::invalid();
+      }
+    }
+    // mig_requeue is informational: the fresh mig_enqueue precedes it.
+  }
+
+  for (const auto& [block, st] : blocks) {
+    if (st.phase == Phase::Idle) continue;
+    ++report.open_at_end;
+    if (flag_open_lifecycles && report.violations.size() < max_violations) {
+      InvariantViolation v;
+      v.rule = "terminal";
+      v.detail = std::string("lifecycle still ") + phase_name(st.phase) + " at end of trace";
+      v.event_index = events.size();
+      v.at = prev_at;
+      v.block = BlockId(block);
+      v.node = st.bound_node;
+      report.violations.push_back(std::move(v));
+    }
+  }
+  return report;
+}
+
+}  // namespace dyrs::obs

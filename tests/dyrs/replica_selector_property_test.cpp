@@ -1,0 +1,190 @@
+// Property tests for Algorithm 1 (greedy earliest-finish replica
+// targeting): under randomized estimator states, queue depths, block sizes,
+// and avoid-lists, every assigned block must land on the replica holder
+// with the minimum predicted finish time *given the loads at its turn in
+// the FIFO pass*, ties must break deterministically to the earliest entry
+// in the block's replicas list, and the whole pass must be a pure function
+// of its inputs.
+#include "dyrs/replica_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dyrs::core {
+namespace {
+
+constexpr Bytes kBlock = mib(256);
+
+std::vector<PendingMigration*> ptrs(std::vector<PendingMigration>& v) {
+  std::vector<PendingMigration*> out;
+  for (auto& pm : v) out.push_back(&pm);
+  return out;
+}
+
+struct Scenario {
+  std::vector<SlaveSnapshot> slaves;
+  std::vector<PendingMigration> pending;
+};
+
+/// Random cluster + backlog. Replica lists may include non-reporting nodes
+/// (ids >= num_slaves) and avoid-listed holders, so eligibility filtering
+/// is exercised alongside the finish-time ranking.
+Scenario random_scenario(Rng& rng) {
+  Scenario s;
+  const int num_slaves = static_cast<int>(rng.uniform_int(3, 8));
+  for (int n = 0; n < num_slaves; ++n) {
+    SlaveSnapshot slave;
+    slave.node = NodeId(n);
+    slave.sec_per_byte = rng.uniform(0.5, 20.0) / static_cast<double>(kBlock);
+    slave.queued_bytes = static_cast<Bytes>(rng.uniform_int(0, 12)) * kBlock +
+                         mib(rng.uniform_int(0, 255));
+    s.slaves.push_back(slave);
+  }
+
+  const int blocks = static_cast<int>(rng.uniform_int(5, 40));
+  for (int b = 0; b < blocks; ++b) {
+    PendingMigration pm;
+    pm.block = BlockId(b);
+    pm.size = mib(rng.uniform_int(64, 512));
+    const int replication = static_cast<int>(rng.uniform_int(1, 3));
+    for (int r = 0; r < replication; ++r) {
+      // +2 head-room: some holders are not reporting slaves.
+      const NodeId loc(rng.uniform_int(0, num_slaves + 1));
+      if (std::find(pm.replicas.begin(), pm.replicas.end(), loc) == pm.replicas.end()) {
+        pm.replicas.push_back(loc);
+      }
+    }
+    if (!pm.replicas.empty() && rng.bernoulli(0.2)) {
+      pm.avoid.push_back(pm.replicas[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pm.replicas.size()) - 1))]);
+    }
+    pm.jobs[JobId(1)] = EvictionMode::Implicit;
+    s.pending.push_back(std::move(pm));
+  }
+  return s;
+}
+
+class ReplicaSelectorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The defining property: replaying the FIFO pass with independent
+// bookkeeping, each assigned block's target has the strictly smallest
+// predicted finish among its eligible holders — or, on an exact tie, is
+// the earliest tied entry in the block's replicas list.
+TEST_P(ReplicaSelectorPropertyTest, AssignsEarliestPredictedFinish) {
+  Rng rng(GetParam());
+  Scenario s = random_scenario(rng);
+  auto p = ptrs(s.pending);
+  const TargetingStats stats = assign_targets(p, s.slaves);
+  EXPECT_EQ(stats.assigned + stats.untargetable, s.pending.size());
+
+  std::unordered_map<NodeId, double> rate, load;
+  for (const auto& slave : s.slaves) {
+    rate[slave.node] = slave.sec_per_byte;
+    load[slave.node] = slave.sec_per_byte * static_cast<double>(slave.queued_bytes);
+  }
+
+  for (const PendingMigration& pm : s.pending) {
+    NodeId expected = NodeId::invalid();
+    double expected_finish = 0.0;
+    for (NodeId loc : pm.replicas) {
+      if (std::find(pm.avoid.begin(), pm.avoid.end(), loc) != pm.avoid.end()) continue;
+      auto it = rate.find(loc);
+      if (it == rate.end()) continue;
+      const double finish = load[loc] + it->second * static_cast<double>(pm.size);
+      // Strict <: an exact tie keeps the earlier replicas-list entry.
+      if (!expected.valid() || finish < expected_finish) {
+        expected = loc;
+        expected_finish = finish;
+      }
+    }
+    EXPECT_EQ(pm.target, expected) << "block " << pm.block.value();
+    if (expected.valid()) load[expected] = expected_finish;
+  }
+}
+
+// Eligibility: a target is always a live (reporting) replica holder that is
+// not avoid-listed; blocks with no eligible holder stay untargeted.
+TEST_P(ReplicaSelectorPropertyTest, TargetsOnlyEligibleHolders) {
+  Rng rng(GetParam() + 1000);
+  Scenario s = random_scenario(rng);
+  auto p = ptrs(s.pending);
+  const TargetingStats stats = assign_targets(p, s.slaves);
+
+  std::size_t assigned = 0;
+  for (const PendingMigration& pm : s.pending) {
+    bool any_eligible = false;
+    for (NodeId loc : pm.replicas) {
+      const bool reporting =
+          std::any_of(s.slaves.begin(), s.slaves.end(),
+                      [loc](const SlaveSnapshot& sl) { return sl.node == loc; });
+      const bool avoided =
+          std::find(pm.avoid.begin(), pm.avoid.end(), loc) != pm.avoid.end();
+      if (reporting && !avoided) any_eligible = true;
+    }
+    if (!pm.target.valid()) {
+      EXPECT_FALSE(any_eligible) << "block " << pm.block.value() << " left untargeted";
+      continue;
+    }
+    ++assigned;
+    EXPECT_NE(std::find(pm.replicas.begin(), pm.replicas.end(), pm.target),
+              pm.replicas.end());
+    EXPECT_EQ(std::find(pm.avoid.begin(), pm.avoid.end(), pm.target), pm.avoid.end());
+    EXPECT_TRUE(std::any_of(s.slaves.begin(), s.slaves.end(), [&pm](const SlaveSnapshot& sl) {
+      return sl.node == pm.target;
+    }));
+  }
+  EXPECT_EQ(stats.assigned, assigned);
+}
+
+// Determinism: the pass is a pure function of (pending, slaves) — same
+// inputs, same targets, independent of any hidden iteration order.
+TEST_P(ReplicaSelectorPropertyTest, SameInputsSameTargets) {
+  Rng rng(GetParam() + 2000);
+  Scenario s = random_scenario(rng);
+  Scenario copy = s;
+
+  auto p1 = ptrs(s.pending);
+  auto p2 = ptrs(copy.pending);
+  assign_targets(p1, s.slaves);
+  assign_targets(p2, copy.slaves);
+  ASSERT_EQ(s.pending.size(), copy.pending.size());
+  for (std::size_t i = 0; i < s.pending.size(); ++i) {
+    EXPECT_EQ(s.pending[i].target, copy.pending[i].target) << "block " << i;
+  }
+}
+
+// Exact ties break to the earliest replicas-list entry: identical idle
+// nodes, equal-size blocks — whichever holder is listed first wins, and
+// reversing the list flips the choice.
+TEST(ReplicaSelectorProperty, TiesBreakToEarliestReplicaEntry) {
+  std::vector<SlaveSnapshot> slaves = {
+      {.node = NodeId(0), .sec_per_byte = 2.0 / static_cast<double>(kBlock), .queued_bytes = 0},
+      {.node = NodeId(1), .sec_per_byte = 2.0 / static_cast<double>(kBlock), .queued_bytes = 0},
+  };
+  PendingMigration forward;
+  forward.block = BlockId(0);
+  forward.size = kBlock;
+  forward.replicas = {NodeId(0), NodeId(1)};
+  PendingMigration reversed = forward;
+  reversed.block = BlockId(1);
+  reversed.replicas = {NodeId(1), NodeId(0)};
+
+  std::vector<PendingMigration*> p = {&forward};
+  assign_targets(p, slaves);
+  EXPECT_EQ(forward.target, NodeId(0));
+
+  p = {&reversed};
+  assign_targets(p, slaves);
+  EXPECT_EQ(reversed.target, NodeId(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaSelectorPropertyTest,
+                         ::testing::Values(3, 14, 159, 2653, 58979, 323846, 2643383, 27950288));
+
+}  // namespace
+}  // namespace dyrs::core

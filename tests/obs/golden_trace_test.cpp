@@ -1,0 +1,225 @@
+// Golden-trace regression: a small fixed-seed DYRS sort is regenerated and
+// compared byte-for-byte against the committed trace under tests/obs/golden/
+// — any change to event vocabulary, field order, number formatting, or
+// scheduling order shows up as a diff, not as a silently shifted aggregate.
+// The same golden trace doubles as the oracle's fixture: it must pass the
+// invariant checker clean (strict open-lifecycle mode included), and each
+// class of hand-corrupted variant must be caught.
+//
+// To refresh after an intentional behavior change:
+//   DYRS_REGEN_GOLDEN=1 ./build/tests/obs_test --gtest_filter='GoldenTrace.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/testbed.h"
+#include "obs/trace_invariants.h"
+#include "obs/trace_reader.h"
+#include "workloads/sort.h"
+
+namespace dyrs::obs {
+namespace {
+
+const char* golden_path() { return DYRS_GOLDEN_DIR "/sort_small.jsonl"; }
+
+/// The fixed scenario behind the golden file: 1GiB DYRS sort on 5 nodes,
+/// seeded placement, no faults — every migration lifecycle drains to a
+/// terminal event before the run ends.
+std::string generate_trace() {
+  exec::TestbedConfig config;
+  config.num_nodes = 5;
+  config.disk_bandwidth = mib_per_sec(128);
+  config.block_size = mib(128);
+  config.scheme = exec::Scheme::Dyrs;
+  config.master.slave.reference_block = mib(128);
+  config.placement_seed = 23;
+  exec::Testbed tb(config);
+  MemorySink& sink = tb.trace_to_memory();
+  tb.load_file("/golden/in", gib(1));
+  wl::SortConfig sort;
+  sort.input = gib(1);
+  sort.platform_overhead = seconds(5);
+  sort.reducers = 4;
+  tb.submit(wl::sort_job("/golden/in", sort));
+  tb.run();
+
+  std::string out;
+  for (const TraceEvent& e : sink.events()) {
+    out += to_json(e);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<TraceEvent> golden_events() { return read_jsonl_file(golden_path()); }
+
+/// Index of the first event satisfying `pred`; fails the test when absent.
+template <typename Pred>
+std::size_t find_event(const std::vector<TraceEvent>& events, Pred pred) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (pred(events[i])) return i;
+  }
+  ADD_FAILURE() << "expected event not present in golden trace";
+  return 0;
+}
+
+bool has_rule(const InvariantReport& report, const std::string& rule) {
+  for (const auto& v : report.violations) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(GoldenTrace, RegeneratesByteIdentical) {
+  const std::string fresh = generate_trace();
+  ASSERT_FALSE(fresh.empty());
+  if (std::getenv("DYRS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << fresh;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  const std::string golden = read_file(golden_path());
+  ASSERT_FALSE(golden.empty()) << "missing " << golden_path()
+                               << " — run once with DYRS_REGEN_GOLDEN=1";
+  EXPECT_EQ(fresh, golden) << "trace drifted from golden; if intentional, "
+                              "regenerate with DYRS_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenTrace, PassesInvariantsIncludingStrictOpenCheck) {
+  TraceReader reader(golden_events());
+  TraceInvariants strict;
+  strict.flag_open_lifecycles = true;  // the scenario drains, so demand it
+  const InvariantReport report = strict.check(reader);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.open_at_end, 0u);
+  EXPECT_GT(report.lifecycles_closed, 0u);
+  EXPECT_TRUE(report.memory_read_rule_active);
+}
+
+// --- each corruption class must be caught -------------------------------
+
+TEST(GoldenTrace, OracleCatchesDuplicateTerminal) {
+  std::vector<TraceEvent> events = golden_events();
+  const std::size_t i =
+      find_event(events, [](const TraceEvent& e) { return e.type == "mig_complete"; });
+  events.insert(events.begin() + i + 1, events[i]);  // complete the same block twice
+  const InvariantReport report = TraceInvariants{}.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "terminal")) << report.summary();
+}
+
+TEST(GoldenTrace, OracleCatchesTamperedQueueWait) {
+  std::vector<TraceEvent> events = golden_events();
+  const std::size_t i =
+      find_event(events, [](const TraceEvent& e) { return e.type == "mig_bind"; });
+  for (auto& f : events[i].fields) {
+    if (f.key == "wait_us") f.i += 17;  // no longer equals bind time - enqueue time
+  }
+  const InvariantReport report = TraceInvariants{}.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "queue-wait")) << report.summary();
+}
+
+TEST(GoldenTrace, OracleCatchesNegativeQueueWait) {
+  std::vector<TraceEvent> events = golden_events();
+  const std::size_t i =
+      find_event(events, [](const TraceEvent& e) { return e.type == "mig_bind"; });
+  for (auto& f : events[i].fields) {
+    if (f.key == "wait_us") f.i = -1;
+  }
+  const InvariantReport report = TraceInvariants{}.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "queue-wait")) << report.summary();
+}
+
+TEST(GoldenTrace, OracleCatchesTimeGoingBackwards) {
+  std::vector<TraceEvent> events = golden_events();
+  ASSERT_GT(events.size(), 2u);
+  events[events.size() / 2].at = events[0].at - 5;  // mid-trace event predates start
+  const InvariantReport report = TraceInvariants{}.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "order")) << report.summary();
+}
+
+TEST(GoldenTrace, OracleCatchesBindBeforeEnqueue) {
+  std::vector<TraceEvent> events = golden_events();
+  const std::size_t bind =
+      find_event(events, [](const TraceEvent& e) { return e.type == "mig_bind"; });
+  const std::int64_t block = events[bind].i64("block");
+  const std::size_t enq = find_event(events, [block](const TraceEvent& e) {
+    return e.type == "mig_enqueue" && e.i64("block") == block;
+  });
+  ASSERT_LT(enq, bind);
+  std::swap(events[enq], events[bind]);  // lifecycle events for one block reordered
+  const InvariantReport report = TraceInvariants{}.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "order")) << report.summary();
+}
+
+TEST(GoldenTrace, OracleCatchesBindInsideDownFaultWindow) {
+  std::vector<TraceEvent> events = golden_events();
+  const std::size_t bind =
+      find_event(events, [](const TraceEvent& e) { return e.type == "mig_bind"; });
+  TraceEvent crash(events[bind].at, "fault");
+  crash.with("kind", "process-crash").with("node", events[bind].i64("node")).with("phase", "start");
+  events.insert(events.begin() + bind, crash);  // node goes down, then gets the bind
+  const InvariantReport report = TraceInvariants{}.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "live-bind")) << report.summary();
+}
+
+TEST(GoldenTrace, OracleCatchesMemoryReadWithoutCompletion) {
+  std::vector<TraceEvent> events = golden_events();
+  const std::size_t read = find_event(events, [](const TraceEvent& e) {
+    const std::string medium = e.str("medium");
+    return e.type == "read_done" && (medium == "local-memory" || medium == "remote-memory");
+  });
+  const std::int64_t block = events[read].i64("block");
+  const std::int64_t node = events[read].i64("node");
+  const std::size_t complete = find_event(events, [block, node](const TraceEvent& e) {
+    return e.type == "mig_complete" && e.i64("block") == block && e.i64("node") == node;
+  });
+  ASSERT_LT(complete, read);
+  events.erase(events.begin() + complete);  // the read's replica was never made
+  const InvariantReport report = TraceInvariants{}.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "memory-read")) << report.summary();
+}
+
+TEST(GoldenTrace, OracleCatchesDroppedTerminalInStrictMode) {
+  std::vector<TraceEvent> events = golden_events();
+  std::size_t last_terminal = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == "mig_complete" || events[i].type == "mig_abort") last_terminal = i;
+  }
+  ASSERT_LT(last_terminal, events.size());
+  events.erase(events.begin() + last_terminal);  // that lifecycle never closes
+
+  // Tolerant default: an open lifecycle at end of trace is counted, not
+  // flagged — partial traces (mid-run snapshots) are legal.
+  TraceReader reader{std::vector<TraceEvent>(events)};
+  const InvariantReport tolerant = TraceInvariants{}.check(reader);
+  EXPECT_EQ(tolerant.open_at_end, 1u);
+
+  // Strict mode (used for drained scenarios like this one) flags it.
+  TraceInvariants strict;
+  strict.flag_open_lifecycles = true;
+  const InvariantReport report = strict.check(TraceReader(std::move(events)));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "terminal")) << report.summary();
+}
+
+}  // namespace
+}  // namespace dyrs::obs

@@ -80,6 +80,75 @@ TEST(PeriodicSampler, RejectsBadProbesAndCadence) {
   EXPECT_THROW(sampler.series("missing"), CheckError);
 }
 
+TEST(PeriodicSampler, PerProbeCadenceOverride) {
+  sim::Simulator sim;
+  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(2));
+  sampler.add_probe("coarse", []() { return 1.0; });
+  sampler.add_probe("fine", []() { return 2.0; }, milliseconds(500));
+  EXPECT_EQ(sampler.probe_cadence("coarse"), seconds(2));
+  EXPECT_EQ(sampler.probe_cadence("fine"), milliseconds(500));
+
+  sampler.start();
+  sim.run_until(seconds(4));
+
+  // Global probe: t=2s, 4s. Override probe: every 500ms -> 8 samples.
+  EXPECT_EQ(sampler.series("coarse").size(), 2u);
+  ASSERT_EQ(sampler.series("fine").size(), 8u);
+  EXPECT_EQ(sampler.series("fine").points()[0].time, milliseconds(500));
+  EXPECT_EQ(sampler.series("fine").points()[7].time, seconds(4));
+
+  // stop() silences override timers too.
+  sampler.stop();
+  sim.run_until(seconds(10));
+  EXPECT_EQ(sampler.series("fine").size(), 8u);
+}
+
+TEST(PeriodicSampler, CoincidingTicksKeepDeterministicOrder) {
+  // When a global tick and an override tick land on the same instant, the
+  // global-cadence probes fire first (their timer was created first), then
+  // override probes in registration order — traces stay byte-stable.
+  sim::Simulator sim;
+  Tracer tracer;
+  MemorySink sink;
+  tracer.set_sink(&sink);
+  PeriodicSampler sampler(sim, nullptr, &tracer, seconds(2));
+  sampler.add_probe("fast", []() { return 1.0; }, seconds(1));
+  sampler.add_probe("global", []() { return 2.0; });
+  sampler.start();
+  sim.run_until(seconds(2));
+
+  // t=1s: fast. t=2s: global (shared timer first), then fast.
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[0].str("name"), "fast");
+  EXPECT_EQ(sink.events()[0].at, seconds(1));
+  EXPECT_EQ(sink.events()[1].str("name"), "global");
+  EXPECT_EQ(sink.events()[1].at, seconds(2));
+  EXPECT_EQ(sink.events()[2].str("name"), "fast");
+  EXPECT_EQ(sink.events()[2].at, seconds(2));
+}
+
+TEST(PeriodicSampler, ExplicitGlobalCadenceBehavesLikeDefault) {
+  sim::Simulator sim;
+  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  // Passing the global cadence explicitly is normalized to "follow global":
+  // one shared timer, registration order within the tick.
+  sampler.add_probe("explicit", []() { return 1.0; }, seconds(1));
+  EXPECT_EQ(sampler.probe_cadence("explicit"), seconds(1));
+  sampler.start();
+  sim.run_until(seconds(3));
+  EXPECT_EQ(sampler.series("explicit").size(), 3u);
+}
+
+TEST(PeriodicSampler, RejectsCadenceMisuse) {
+  sim::Simulator sim;
+  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  EXPECT_THROW(sampler.add_probe("neg", []() { return 0.0; }, -seconds(1)), CheckError);
+  EXPECT_THROW(sampler.probe_cadence("missing"), CheckError);
+  sampler.add_probe("ok", []() { return 0.0; });
+  sampler.start();
+  EXPECT_THROW(sampler.add_probe("late", []() { return 0.0; }, seconds(2)), CheckError);
+}
+
 TEST(PeriodicSampler, ProbeNamesInRegistrationOrder) {
   sim::Simulator sim;
   PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
