@@ -5,11 +5,13 @@
 // the same backlog serialized vs fully concurrent across seek-penalty
 // settings, plus a queue-depth sweep showing the computed depth avoids
 // disk idleness without deep early binding.
+#include <chrono>
 #include <functional>
 #include <iostream>
 
 #include "bench/common/bench_util.h"
 #include "common/table.h"
+#include "obs/trace.h"
 #include "sim/fair_share.h"
 
 using namespace dyrs;
@@ -43,6 +45,41 @@ double drain_time_s(double seek_alpha, int blocks, bool serialize) {
   return to_seconds(last);
 }
 
+// TraceEvent hot path: build a representative lifecycle event (the shape the
+// dyrs master emits on every completion) and serialize it. Reported as
+// ns/event so field-vector and key-string allocation changes show up
+// directly.
+struct TraceEventCost {
+  double build_ns = 0;
+  double json_ns = 0;
+};
+
+TraceEventCost trace_event_cost(int events) {
+  using clock = std::chrono::steady_clock;
+  std::size_t sink = 0;  // consume results so the loops aren't elided
+
+  const auto b0 = clock::now();
+  for (int i = 0; i < events; ++i) {
+    obs::TraceEvent e(SimTime{i}, "mig_complete");
+    e.with("block", i).with("node", i % 8).with("size", std::int64_t{1} << 27)
+        .with("transfer_s", 1.6384).with("attempt", 1);
+    sink += e.fields.size();
+  }
+  const auto b1 = clock::now();
+  for (int i = 0; i < events; ++i) {
+    obs::TraceEvent e(SimTime{i}, "mig_complete");
+    e.with("block", i).with("node", i % 8).with("size", std::int64_t{1} << 27)
+        .with("transfer_s", 1.6384).with("attempt", 1);
+    sink += obs::to_json(e).size();
+  }
+  const auto b2 = clock::now();
+
+  if (sink == 0) std::cout << "";  // keep `sink` observable
+  const double n = static_cast<double>(events);
+  return {std::chrono::duration<double, std::nano>(b1 - b0).count() / n,
+          std::chrono::duration<double, std::nano>(b2 - b1).count() / n};
+}
+
 }  // namespace
 
 int main() {
@@ -60,6 +97,14 @@ int main() {
 
   std::cout << "\n(with alpha=0 the orders are equivalent; any positive seek penalty makes\n"
                " concurrent execution strictly worse — and Ignem runs concurrently)\n\n";
+
+  const int trace_events = bench::smoke_mode() ? 20'000 : 500'000;
+  const TraceEventCost cost = trace_event_cost(trace_events);
+  TextTable trace_table({"trace hot path", "ns/event"});
+  trace_table.add_row({"build (5 fields)", TextTable::num(cost.build_ns, 1)});
+  trace_table.add_row({"build + to_json", TextTable::num(cost.json_ns, 1)});
+  trace_table.print(std::cout);
+  std::cout << "\n";
 
   const double penalty = drain_time_s(0.15, 16, false) / drain_time_s(0.15, 16, true);
   bench::print_shape_check(penalty > 1.5,

@@ -14,9 +14,15 @@
 //   dyrsctl trace run.jsonl            span table, per-node timelines,
 //                                      invariant verdict (exit 1 on violation)
 //   dyrsctl trace run.jsonl --strict-open   also flag open lifecycles
+//   dyrsctl trace rt.jsonl --profile rt     merged rt trace (no global
+//                                           time-order rule)
+//   dyrsctl trace run.jsonl --policy        replay Algorithm 1's choices
+//   dyrsctl trace rt.jsonl --span-seq       per-block event signatures only
+//                                           (for run-to-run determinism diffs)
 #include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -136,19 +142,73 @@ RunResult run_workload(exec::Scheme scheme, const Args& args) {
 }
 
 [[noreturn]] void trace_usage() {
-  std::cerr << "usage: dyrsctl trace FILE.jsonl [--strict-open] [--tail N]\n"
-               "  --strict-open   flag lifecycles still open at end-of-trace\n"
-               "  --tail N        straggler window size (default 10)\n";
+  std::cerr << "usage: dyrsctl trace FILE.jsonl [--profile sim|rt] [--strict-open] [--tail N]\n"
+               "                    [--policy [--policy-margin X] [--ref-block-mib N]]\n"
+               "                    [--span-seq]\n"
+               "  --profile sim|rt   invariant profile; rt skips the global time-order\n"
+               "                     rule (merged rt traces are block-grouped, default sim)\n"
+               "  --strict-open      flag lifecycles still open at end-of-trace\n"
+               "  --tail N           straggler window size (default 10)\n"
+               "  --policy           replay Algorithm 1 earliest-finish targeting from\n"
+               "                     sampled est probes and flag contradicting targets\n"
+               "  --policy-margin X  relative slack before flagging (default 0.5)\n"
+               "  --ref-block-mib N  block size the est probe is normalized to (default 256)\n"
+               "  --span-seq         print only per-block event signatures (type@node),\n"
+               "                     the run-stable projection of an rt trace\n";
   std::exit(2);
+}
+
+/// Prints one line per block: the sequence of migration-lifecycle event
+/// signatures (`type@node`) in trace order. For merged rt traces this is
+/// exactly the projection the determinism contract promises to be identical
+/// across runs (timings and rates vary; the per-block order does not), so
+/// CI captures it twice and diffs.
+void print_span_signatures(const obs::TraceReader& reader) {
+  std::map<std::int64_t, std::string> per_block;
+  for (const obs::TraceEvent& e : reader.events()) {
+    if (e.type.rfind("mig_", 0) != 0) continue;
+    const std::int64_t block = e.i64("block");
+    if (block < 0) continue;
+    std::string& line = per_block[block];
+    if (!line.empty()) line += ' ';
+    line += e.type;
+    const std::int64_t node = e.i64("node");
+    if (node >= 0) {
+      line += '@';
+      line += std::to_string(node);
+    }
+  }
+  for (const auto& [block, line] : per_block) {
+    std::cout << "block " << block << ": " << line << "\n";
+  }
 }
 
 int run_trace_command(int argc, char** argv) {
   std::string path;
   bool strict_open = false;
+  bool span_seq = false;
   std::size_t tail_window = 10;
+  obs::TraceInvariants oracle;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--strict-open")) {
       strict_open = true;
+    } else if (!std::strcmp(argv[i], "--span-seq")) {
+      span_seq = true;
+    } else if (!std::strcmp(argv[i], "--profile") && i + 1 < argc) {
+      const std::string profile = argv[++i];
+      if (profile == "sim") {
+        oracle.profile = obs::TraceInvariants::Profile::Sim;
+      } else if (profile == "rt") {
+        oracle.profile = obs::TraceInvariants::Profile::Rt;
+      } else {
+        trace_usage();
+      }
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      oracle.check_policy = true;
+    } else if (!std::strcmp(argv[i], "--policy-margin") && i + 1 < argc) {
+      oracle.policy_margin = std::stod(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--ref-block-mib") && i + 1 < argc) {
+      oracle.policy_reference_block = mib(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--tail") && i + 1 < argc) {
       tail_window = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (path.empty() && argv[i][0] != '-') {
@@ -160,6 +220,10 @@ int run_trace_command(int argc, char** argv) {
   if (path.empty()) trace_usage();
 
   obs::TraceReader reader(obs::read_jsonl_file(path));
+  if (span_seq) {
+    print_span_signatures(reader);
+    return 0;
+  }
   obs::TraceAnalysis analysis(reader);
 
   std::cout << path << ": " << reader.events().size() << " events\n";
@@ -234,10 +298,13 @@ int run_trace_command(int argc, char** argv) {
     std::cout << "\n";
   }
 
-  obs::TraceInvariants oracle;
   oracle.flag_open_lifecycles = strict_open;
   const obs::InvariantReport report = oracle.check(reader);
   std::cout << "\ninvariants: " << report.summary() << "\n";
+  if (oracle.check_policy) {
+    std::cout << "  policy oracle: " << report.policy_checked << " targets scored, "
+              << report.policy_skipped << " skipped (no estimator snapshot)\n";
+  }
   if (report.open_at_end > 0 || report.abandoned_by_failover > 0 || report.zombie_events > 0) {
     std::cout << "  (" << report.open_at_end << " open at end, " << report.abandoned_by_failover
               << " abandoned by failover, " << report.zombie_events

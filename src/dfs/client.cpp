@@ -68,15 +68,11 @@ void DFSClient::read_block(BlockId block, NodeId reader, JobId job, ReadDoneFn d
       });
 }
 
-void DFSClient::set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer) {
-  tracer_ = tracer;
-  if (registry == nullptr) {
-    medium_counters_ = {};
-    return;
-  }
+void DFSClient::set_observability(const obs::ObsContext& obs) {
+  obs_ = obs;
   for (std::size_t i = 0; i < medium_counters_.size(); ++i) {
     medium_counters_[i] =
-        &registry->counter(std::string("dfs.reads.") + to_string(static_cast<ReadMedium>(i)));
+        obs.counter(std::string("dfs.reads.") + to_string(static_cast<ReadMedium>(i)));
   }
 }
 
@@ -85,13 +81,13 @@ void DFSClient::finish(const ReadInfo& info, JobId job, const ReadDoneFn& done) 
   ++counters[static_cast<std::size_t>(info.medium)];
   ++total_reads_;
   if (obs::Counter* c = medium_counters_[static_cast<std::size_t>(info.medium)]) c->inc();
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->emit(obs::TraceEvent(info.end, "read_done")
-                      .with("block", info.block.value())
-                      .with("job", job.value())
-                      .with("node", info.source.value())
-                      .with("medium", to_string(info.medium))
-                      .with("latency_us", static_cast<std::int64_t>(info.end - info.start)));
+  if (obs_.tracing()) {
+    obs_.emit(obs::TraceEvent(info.end, "read_done")
+                  .with("block", info.block.value())
+                  .with("job", job.value())
+                  .with("node", info.source.value())
+                  .with("medium", to_string(info.medium))
+                  .with("latency_us", static_cast<std::int64_t>(info.end - info.start)));
   }
   if (hooks_) hooks_->on_read_completed(info.block, job, info);
   if (done) done(info);

@@ -20,6 +20,7 @@
 #include "dfs/namenode.h"
 #include "dfs/read_hooks.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 
 namespace dyrs::dfs {
@@ -46,9 +47,10 @@ class DFSClient {
   long reads_served(NodeId node, ReadMedium medium) const;
   long total_reads() const { return total_reads_; }
 
-  /// Wires per-medium read counters and `read_done` trace events. Either
-  /// pointer may be null; disabled paths cost one null check per read.
-  void set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+  /// Wires per-medium read counters and `read_done` trace events. A
+  /// default-constructed context is a no-op; disabled paths cost one null
+  /// check per read.
+  void set_observability(const obs::ObsContext& obs);
 
  private:
   void finish(const ReadInfo& info, JobId job, const ReadDoneFn& done);
@@ -58,7 +60,7 @@ class DFSClient {
   Rng rng_;
   ReadHooks* hooks_ = nullptr;
 
-  obs::Tracer* tracer_ = nullptr;
+  obs::ObsContext obs_;
   std::array<obs::Counter*, 4> medium_counters_{};  // indexed by ReadMedium
 
   std::unordered_map<NodeId, std::array<long, 4>> served_;

@@ -72,23 +72,17 @@ void MigrationMaster::set_job_active_query(std::function<bool(JobId)> q) {
   for (auto& [id, slave] : slaves_) slave->job_active_query = q;
 }
 
-void MigrationMaster::set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer) {
-  tracer_ = tracer;
-  for (auto& [id, slave] : slaves_) slave->set_tracer(tracer);
-  if (registry == nullptr) {
-    ctr_enqueued_ = ctr_bound_ = ctr_completed_ = ctr_cancelled_ = ctr_requeued_ = ctr_bytes_ =
-        nullptr;
-    hist_transfer_s_ = hist_pending_wait_s_ = nullptr;
-    return;
-  }
-  ctr_enqueued_ = &registry->counter("dyrs.migrations.enqueued");
-  ctr_bound_ = &registry->counter("dyrs.migrations.bound");
-  ctr_completed_ = &registry->counter("dyrs.migrations.completed");
-  ctr_cancelled_ = &registry->counter("dyrs.migrations.cancelled");
-  ctr_requeued_ = &registry->counter("dyrs.migrations.requeued");
-  ctr_bytes_ = &registry->counter("dyrs.migrations.bytes");
-  hist_transfer_s_ = &registry->histogram("dyrs.migration.transfer_s");
-  hist_pending_wait_s_ = &registry->histogram("dyrs.migration.pending_wait_s");
+void MigrationMaster::set_observability(const obs::ObsContext& obs) {
+  obs_ = obs;
+  for (auto& [id, slave] : slaves_) slave->set_obs(obs);
+  ctr_enqueued_ = obs.counter("dyrs.migrations.enqueued");
+  ctr_bound_ = obs.counter("dyrs.migrations.bound");
+  ctr_completed_ = obs.counter("dyrs.migrations.completed");
+  ctr_cancelled_ = obs.counter("dyrs.migrations.cancelled");
+  ctr_requeued_ = obs.counter("dyrs.migrations.requeued");
+  ctr_bytes_ = obs.counter("dyrs.migrations.bytes");
+  hist_transfer_s_ = obs.histogram("dyrs.migration.transfer_s");
+  hist_pending_wait_s_ = obs.histogram("dyrs.migration.pending_wait_s");
 }
 
 void MigrationMaster::record_cancel(CancelRecord rec) {
@@ -98,7 +92,7 @@ void MigrationMaster::record_cancel(CancelRecord rec) {
     e.with("block", rec.block.value());
     if (rec.node.valid()) e.with("node", rec.node.value());
     e.with("reason", to_string(rec.reason));
-    tracer_->emit(e);
+    obs_.emit(e);
   }
   cancels_.push_back(rec);
 }
@@ -161,10 +155,18 @@ void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode,
   pm.requested_at = cluster_.simulator().now();
   if (ctr_enqueued_ != nullptr) ctr_enqueued_->inc();
   if (tracing()) {
-    tracer_->emit(obs::TraceEvent(pm.requested_at, "mig_enqueue")
-                      .with("block", block.value())
-                      .with("job", job.value())
-                      .with("size", static_cast<std::int64_t>(pm.size)));
+    // The replica set rides along so trace consumers (the policy oracle)
+    // know which nodes Algorithm 1 could have chosen.
+    std::string replicas;
+    for (NodeId n : pm.replicas) {
+      if (!replicas.empty()) replicas += ',';
+      replicas += std::to_string(n.value());
+    }
+    obs_.emit(obs::TraceEvent(pm.requested_at, "mig_enqueue")
+                  .with("block", block.value())
+                  .with("job", job.value())
+                  .with("size", static_cast<std::int64_t>(pm.size))
+                  .with("replicas", std::move(replicas)));
   }
   pending_.push_back(std::move(pm));
   pending_index_[block] = std::prev(pending_.end());
@@ -223,10 +225,10 @@ void MigrationMaster::retarget_now() {
   for (std::size_t i = 0; i < ptrs.size(); ++i) {
     const PendingMigration& pm = *ptrs[i];
     if (pm.target == before[i] || !pm.target.valid()) continue;
-    tracer_->emit(obs::TraceEvent(cluster_.simulator().now(), "mig_target")
-                      .with("block", pm.block.value())
-                      .with("node", pm.target.value())
-                      .with("sec_per_byte", sec_per_byte[pm.target]));
+    obs_.emit(obs::TraceEvent(cluster_.simulator().now(), "mig_target")
+                  .with("block", pm.block.value())
+                  .with("node", pm.target.value())
+                  .with("sec_per_byte", sec_per_byte[pm.target]));
   }
 }
 
@@ -306,10 +308,10 @@ void MigrationMaster::bind(std::list<PendingMigration>::iterator it, MigrationSl
   if (ctr_bound_ != nullptr) ctr_bound_->inc();
   if (hist_pending_wait_s_ != nullptr) hist_pending_wait_s_->add(to_seconds(wait));
   if (tracing()) {
-    tracer_->emit(obs::TraceEvent(bm.bound_at, "mig_bind")
-                      .with("block", block.value())
-                      .with("node", slave.id().value())
-                      .with("wait_us", static_cast<std::int64_t>(wait)));
+    obs_.emit(obs::TraceEvent(bm.bound_at, "mig_bind")
+                  .with("block", block.value())
+                  .with("node", slave.id().value())
+                  .with("wait_us", static_cast<std::int64_t>(wait)));
   }
   pending_index_.erase(block);
   pending_.erase(it);
@@ -338,11 +340,11 @@ void MigrationMaster::handle_migration_complete(const MigrationRecord& record) {
     hist_transfer_s_->add(transfer_s);
   }
   if (tracing()) {
-    tracer_->emit(obs::TraceEvent(record.finished_at, "mig_complete")
-                      .with("block", record.block.value())
-                      .with("node", record.node.value())
-                      .with("size", static_cast<std::int64_t>(record.size))
-                      .with("transfer_s", transfer_s));
+    obs_.emit(obs::TraceEvent(record.finished_at, "mig_complete")
+                  .with("block", record.block.value())
+                  .with("node", record.node.value())
+                  .with("size", static_cast<std::int64_t>(record.size))
+                  .with("transfer_s", transfer_s));
   }
   records_.push_back(record);
 }
@@ -437,7 +439,7 @@ void MigrationMaster::requeue_lost(std::vector<BoundMigration> lost, NodeId avoi
         obs::TraceEvent e(cluster_.simulator().now(), "mig_requeue");
         e.with("block", m.block.value());
         if (avoid.valid()) e.with("avoid", avoid.value());
-        tracer_->emit(e);
+        obs_.emit(e);
       }
     }
   }
@@ -582,7 +584,7 @@ void MigrationMaster::master_failover() {
   // The registry lives logically in the master.
   for (NodeId id : cluster_.node_ids()) namenode_.drop_memory_replicas_on(id);
   rebuilding_ = true;
-  if (tracing()) tracer_->emit(obs::TraceEvent(cluster_.simulator().now(), "master_failover"));
+  if (tracing()) obs_.emit(obs::TraceEvent(cluster_.simulator().now(), "master_failover"));
 }
 
 }  // namespace dyrs::core

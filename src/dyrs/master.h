@@ -25,6 +25,7 @@
 #include "dyrs/service.h"
 #include "dyrs/slave.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 
 namespace dyrs::core {
@@ -110,9 +111,9 @@ class MigrationMaster final : public MigrationService {
   // --- observability ------------------------------------------------------
   /// Wires the migration-lifecycle tracing (enqueue -> target -> bind ->
   /// transfer -> complete/abort) and registry counters through the master
-  /// and its slaves. Either pointer may be null; with a disabled tracer the
-  /// instrumented paths cost one null/flag check.
-  void set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+  /// and its slaves. A default-constructed context is a no-op; with a
+  /// disabled tracer the instrumented paths cost one null/flag check.
+  void set_observability(const obs::ObsContext& obs);
 
   /// Cluster-scheduler liveness oracle, forwarded to slave scavengers.
   void set_job_active_query(std::function<bool(JobId)> q);
@@ -145,7 +146,7 @@ class MigrationMaster final : public MigrationService {
                    const std::vector<NodeId>& avoid = {});
   /// Records the cancel and emits the matching `mig_abort` trace event.
   void record_cancel(CancelRecord rec);
-  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  bool tracing() const { return obs_.tracing(); }
 
   cluster::Cluster& cluster_;
   dfs::NameNode& namenode_;
@@ -167,7 +168,7 @@ class MigrationMaster final : public MigrationService {
 
   // Observability (optional; cached instrument pointers keep hot paths to
   // one atomic add each).
-  obs::Tracer* tracer_ = nullptr;
+  obs::ObsContext obs_;
   obs::Counter* ctr_enqueued_ = nullptr;
   obs::Counter* ctr_bound_ = nullptr;
   obs::Counter* ctr_completed_ = nullptr;

@@ -160,11 +160,11 @@ bool MigrationSlave::start_migration(BoundMigration m) {
       [this, block](SimTime t) { finish_migration(block, t); });
   active_.emplace(block, std::move(active));
   if (tracing()) {
-    tracer_->emit(obs::TraceEvent(sim_.now(), "mig_transfer_start")
-                      .with("block", block.value())
-                      .with("node", id().value())
-                      .with("size", static_cast<std::int64_t>(size))
-                      .with("attempt", attempt));
+    obs_.emit(obs::TraceEvent(sim_.now(), "mig_transfer_start")
+                  .with("block", block.value())
+                  .with("node", id().value())
+                  .with("size", static_cast<std::int64_t>(size))
+                  .with("attempt", attempt));
   }
   return true;
 }
@@ -207,10 +207,10 @@ void MigrationSlave::fail_migration(BlockId block) {
     DYRS_LOG(Debug, "slave") << "node " << id() << " giving up on block " << block << " after "
                              << m.attempts << " attempts";
     if (tracing()) {
-      tracer_->emit(obs::TraceEvent(sim_.now(), "mig_transfer_failed")
-                        .with("block", block.value())
-                        .with("node", id().value())
-                        .with("attempts", m.attempts));
+      obs_.emit(obs::TraceEvent(sim_.now(), "mig_transfer_failed")
+                    .with("block", block.value())
+                    .with("node", id().value())
+                    .with("attempts", m.attempts));
     }
     if (callbacks_.on_failed) callbacks_.on_failed(id(), std::move(m));
   } else {
@@ -220,11 +220,11 @@ void MigrationSlave::fail_migration(BlockId block) {
     const SimDuration delay =
         std::min(config_.retry_backoff_cap, config_.retry_backoff << shift);
     if (tracing()) {
-      tracer_->emit(obs::TraceEvent(sim_.now(), "mig_transfer_retry")
-                        .with("block", block.value())
-                        .with("node", id().value())
-                        .with("attempt", m.attempts)
-                        .with("delay_us", static_cast<std::int64_t>(delay)));
+      obs_.emit(obs::TraceEvent(sim_.now(), "mig_transfer_retry")
+                    .with("block", block.value())
+                    .with("node", id().value())
+                    .with("attempt", m.attempts)
+                    .with("delay_us", static_cast<std::int64_t>(delay)));
     }
     Backoff b;
     b.m = std::move(m);

@@ -21,6 +21,7 @@
 #include "dyrs/buffer_manager.h"
 #include "dyrs/estimator.h"
 #include "dyrs/types.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -140,10 +141,10 @@ class MigrationSlave {
   long migrations_completed() const { return completed_; }
   bool stalled() const { return stalled_; }
 
-  /// Transfer-phase trace events (mig_transfer_start/retry/failed) go to
-  /// this tracer; null (the default) disables them at the cost of one
-  /// pointer check per site.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Transfer-phase trace events (mig_transfer_start/retry/failed) go
+  /// through this context; the default no-op context disables them at the
+  /// cost of one flag check per site.
+  void set_obs(const obs::ObsContext& obs) { obs_ = obs; }
 
   // --- retry statistics -------------------------------------------------
   /// Migrations currently waiting out a retry backoff.
@@ -170,7 +171,7 @@ class MigrationSlave {
   void fail_migration(BlockId block);
   void retry_now(BlockId block);
   void report_evicted(const std::vector<BlockId>& evicted);
-  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  bool tracing() const { return obs_.tracing(); }
 
   sim::Simulator& sim_;
   dfs::DataNode& datanode_;
@@ -179,7 +180,7 @@ class MigrationSlave {
   MigrationEstimator estimator_;
   BufferManager buffers_;
 
-  obs::Tracer* tracer_ = nullptr;
+  obs::ObsContext obs_;
 
   std::deque<BoundMigration> queue_;
   std::unordered_map<BlockId, Active> active_;

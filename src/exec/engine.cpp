@@ -40,18 +40,13 @@ void Engine::set_migration_service(core::MigrationService* service) {
   }
 }
 
-void Engine::set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer) {
-  tracer_ = tracer;
-  if (registry == nullptr) {
-    ctr_jobs_submitted_ = ctr_jobs_done_ = ctr_maps_done_ = ctr_reduces_done_ = nullptr;
-    hist_job_duration_s_ = nullptr;
-    return;
-  }
-  ctr_jobs_submitted_ = &registry->counter("exec.jobs.submitted");
-  ctr_jobs_done_ = &registry->counter("exec.jobs.completed");
-  ctr_maps_done_ = &registry->counter("exec.maps.completed");
-  ctr_reduces_done_ = &registry->counter("exec.reduces.completed");
-  hist_job_duration_s_ = &registry->histogram("exec.job.duration_s");
+void Engine::set_observability(const obs::ObsContext& obs) {
+  obs_ = obs;
+  ctr_jobs_submitted_ = obs.counter("exec.jobs.submitted");
+  ctr_jobs_done_ = obs.counter("exec.jobs.completed");
+  ctr_maps_done_ = obs.counter("exec.maps.completed");
+  ctr_reduces_done_ = obs.counter("exec.reduces.completed");
+  hist_job_duration_s_ = obs.histogram("exec.job.duration_s");
 }
 
 JobId Engine::submit(const JobSpec& spec) {
@@ -102,7 +97,7 @@ void Engine::begin_submission(JobId id, JobSpec spec) {
 
   if (ctr_jobs_submitted_ != nullptr) ctr_jobs_submitted_->inc();
   if (tracing()) {
-    tracer_->emit(obs::TraceEvent(job.record.submitted, "job_submit")
+    obs_.emit(obs::TraceEvent(job.record.submitted, "job_submit")
                       .with("job", id.value())
                       .with("name", job.record.name)
                       .with("maps", job.record.num_maps)
@@ -126,7 +121,7 @@ void Engine::make_eligible(JobId id) {
   Job& job = job_state(id);
   job.record.eligible = cluster_.simulator().now();
   if (tracing()) {
-    tracer_->emit(obs::TraceEvent(job.record.eligible, "job_eligible").with("job", id.value()));
+    obs_.emit(obs::TraceEvent(job.record.eligible, "job_eligible").with("job", id.value()));
   }
   runnable_.push_back(id);
   try_schedule();
@@ -240,7 +235,7 @@ void Engine::run_map(Job& job, MapTask& task, NodeId node, bool speculative) {
             metrics_.add_task(*record);
             if (ctr_maps_done_ != nullptr) ctr_maps_done_->inc();
             if (tracing()) {
-              tracer_->emit(obs::TraceEvent(record->finished, "task_done")
+              obs_.emit(obs::TraceEvent(record->finished, "task_done")
                                 .with("task", record->id.value())
                                 .with("job", jid.value())
                                 .with("node", node.value())
@@ -326,7 +321,7 @@ void Engine::run_reduce(Job& job, ReduceTask& task, NodeId node) {
       metrics_.add_task(*record);
       if (ctr_reduces_done_ != nullptr) ctr_reduces_done_->inc();
       if (tracing()) {
-        tracer_->emit(obs::TraceEvent(record->finished, "task_done")
+        obs_.emit(obs::TraceEvent(record->finished, "task_done")
                           .with("task", record->id.value())
                           .with("job", jid.value())
                           .with("node", node.value())
@@ -396,7 +391,7 @@ void Engine::finish_job(Job& job) {
     hist_job_duration_s_->add(duration_s);
   }
   if (tracing()) {
-    tracer_->emit(obs::TraceEvent(record.finished, "job_done")
+    obs_.emit(obs::TraceEvent(record.finished, "job_done")
                       .with("job", id.value())
                       .with("duration_s", duration_s));
   }

@@ -26,6 +26,7 @@
 #include "exec/job.h"
 #include "exec/metrics.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 
 namespace dyrs::exec {
@@ -59,7 +60,7 @@ class Engine {
 
   /// Wires job/task lifecycle trace events and registry counters. Either
   /// pointer may be null; disabled paths cost one null check per site.
-  void set_observability(obs::MetricsRegistry* registry, obs::Tracer* tracer);
+  void set_observability(const obs::ObsContext& obs);
 
   /// Submits a job now; returns its id.
   JobId submit(const JobSpec& spec);
@@ -120,7 +121,7 @@ class Engine {
   void on_maps_complete(Job& job);
   void finish_job(Job& job);
   Job& job_state(JobId id);
-  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  bool tracing() const { return obs_.tracing(); }
 
   cluster::Cluster& cluster_;
   dfs::NameNode& namenode_;
@@ -140,7 +141,7 @@ class Engine {
   long speculative_launches_ = 0;
   long speculative_wins_ = 0;
 
-  obs::Tracer* tracer_ = nullptr;
+  obs::ObsContext obs_;
   obs::Counter* ctr_jobs_submitted_ = nullptr;
   obs::Counter* ctr_jobs_done_ = nullptr;
   obs::Counter* ctr_maps_done_ = nullptr;

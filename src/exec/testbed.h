@@ -148,6 +148,10 @@ class Testbed {
   faults::ClusterInvariantChecker* invariants() { return invariants_.get(); }
 
  private:
+  /// Registers the per-node telemetry probes into the context's ProbeBook;
+  /// they start ticking only if enable_sampling() adopts them.
+  void register_probes(const obs::ObsContext& ctx);
+
   TestbedConfig config_;
   sim::Simulator sim_;
   obs::Observability obs_;  // outlives every instrumented component below

@@ -45,14 +45,14 @@ void FaultInjector::record(const std::string& line) {
 }
 
 void FaultInjector::trace_transition(const FaultEvent& e, const char* phase) {
-  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  if (!obs_.tracing()) return;
   obs::TraceEvent ev(sim_.now(), "fault");
   ev.with("kind", to_string(e.kind));
   ev.with("node", e.node.value());
   ev.with("phase", phase);
   if (e.kind == FaultKind::IoErrors) ev.with("rate", e.rate);
   if (e.kind == FaultKind::DiskDegradation) ev.with("factor", e.factor);
-  tracer_->emit(ev);
+  obs_.emit(ev);
 }
 
 void FaultInjector::apply_start(const FaultEvent& e) {

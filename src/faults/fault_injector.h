@@ -34,6 +34,7 @@
 #include "common/random.h"
 #include "dfs/namenode.h"
 #include "faults/fault_plan.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -57,8 +58,9 @@ class FaultInjector {
 
   /// Emits `fault` trace events (kind/node/phase start|end) alongside each
   /// transition, so trace tooling can reconstruct node-liveness windows —
-  /// the live-bind invariant needs them. Null disables emission.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// the live-bind invariant needs them. The default no-op context
+  /// disables emission.
+  void set_obs(const obs::ObsContext& obs) { obs_ = obs; }
 
   /// Chronological, human-readable record of applied transitions.
   const std::vector<std::string>& trace() const { return trace_; }
@@ -90,7 +92,7 @@ class FaultInjector {
 
   std::vector<sim::EventHandle> timers_;
   std::vector<std::string> trace_;
-  obs::Tracer* tracer_ = nullptr;
+  obs::ObsContext obs_;
   long io_errors_injected_ = 0;
 };
 

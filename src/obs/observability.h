@@ -1,14 +1,17 @@
 // Observability — the bundle an instrumented stack shares.
 //
-// One MetricsRegistry plus one Tracer, with sink ownership helpers. The
-// Testbed owns one of these and hands pointers to every layer; standalone
-// users (rt demos, unit tests) can construct their own.
+// One MetricsRegistry, one Tracer, and one ProbeBook, with sink ownership
+// helpers. The Testbed owns one of these and hands every layer the
+// ObsContext view from context(); standalone users (rt demos, unit tests)
+// can construct their own.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "obs/metrics_registry.h"
+#include "obs/obs_context.h"
+#include "obs/thread_buffer_sink.h"
 #include "obs/trace.h"
 
 namespace dyrs::obs {
@@ -19,6 +22,10 @@ class Observability {
   const MetricsRegistry& registry() const { return registry_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  ProbeBook& probes() { return probes_; }
+
+  /// The handle layers take. Valid as long as this Observability lives.
+  ObsContext context() { return ObsContext(&registry_, &tracer_, &probes_); }
 
   /// Routes trace events to an in-memory buffer; returns it for assertions.
   MemorySink& trace_to_memory() {
@@ -33,6 +40,16 @@ class Observability {
   void trace_to_jsonl(const std::string& path) {
     owned_sink_ = std::make_unique<JsonlFileSink>(path);
     tracer_.set_sink(owned_sink_.get());
+  }
+
+  /// Routes trace events to per-thread buffers for multi-threaded emitters
+  /// (the rt runtime); returns the sink for merge_thread_buffers().
+  ThreadLocalBufferSink& trace_to_thread_buffers() {
+    auto sink = std::make_unique<ThreadLocalBufferSink>();
+    ThreadLocalBufferSink& ref = *sink;
+    owned_sink_ = std::move(sink);
+    tracer_.set_sink(owned_sink_.get());
+    return ref;
   }
 
   /// Routes trace events to a caller-owned sink (nullptr disables tracing).
@@ -50,6 +67,7 @@ class Observability {
  private:
   MetricsRegistry registry_;
   Tracer tracer_;
+  ProbeBook probes_;
   std::unique_ptr<TraceSink> owned_sink_;
 };
 

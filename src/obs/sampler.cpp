@@ -4,10 +4,14 @@
 
 namespace dyrs::obs {
 
-PeriodicSampler::PeriodicSampler(sim::Simulator& sim, MetricsRegistry* registry, Tracer* tracer,
-                                 SimDuration cadence)
-    : sim_(sim), registry_(registry), tracer_(tracer), cadence_(cadence) {
+PeriodicSampler::PeriodicSampler(sim::Simulator& sim, const ObsContext& obs, SimDuration cadence)
+    : sim_(sim), obs_(obs), cadence_(cadence) {
   DYRS_CHECK(cadence > 0);
+  if (obs_.probes() != nullptr) {
+    for (auto& entry : obs_.probes()->take()) {
+      add_probe(entry.name, std::move(entry.probe), entry.cadence);
+    }
+  }
 }
 
 PeriodicSampler::~PeriodicSampler() {
@@ -27,7 +31,7 @@ void PeriodicSampler::add_probe(const std::string& name, Probe probe, SimDuratio
   entry.probe = std::move(probe);
   entry.series = TimeSeries(name);
   entry.cadence = cadence == cadence_ ? 0 : cadence;  // explicit global = default
-  if (registry_ != nullptr) entry.gauge = &registry_->gauge(name);
+  entry.gauge = obs_.gauge(name);
   entries_.push_back(std::move(entry));
 }
 
@@ -61,8 +65,8 @@ void PeriodicSampler::sample_entry(Entry& e) {
   const double v = e.probe();
   e.series.record(now, v);
   if (e.gauge != nullptr) e.gauge->set(v);
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->emit(TraceEvent(now, "sample").with("name", e.name).with("value", v));
+  if (obs_.tracing()) {
+    obs_.emit(TraceEvent(now, "sample").with("name", e.name).with("value", v));
   }
 }
 

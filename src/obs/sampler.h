@@ -15,6 +15,7 @@
 
 #include "common/timeseries.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -24,10 +25,12 @@ class PeriodicSampler {
  public:
   using Probe = std::function<double()>;
 
-  /// `registry` and `tracer` may be null; sampling then only fills the
-  /// per-probe TimeSeries.
-  PeriodicSampler(sim::Simulator& sim, MetricsRegistry* registry, Tracer* tracer,
-                  SimDuration cadence);
+  /// The context's registry/tracer may be absent; sampling then only fills
+  /// the per-probe TimeSeries. If the context carries a ProbeBook, its
+  /// pending registrations are adopted (and the book drained) here, so
+  /// probes layers registered at construction time start ticking without
+  /// the owner re-wiring them.
+  PeriodicSampler(sim::Simulator& sim, const ObsContext& obs, SimDuration cadence);
   ~PeriodicSampler();
   PeriodicSampler(const PeriodicSampler&) = delete;
   PeriodicSampler& operator=(const PeriodicSampler&) = delete;
@@ -66,8 +69,7 @@ class PeriodicSampler {
   void sample_entry(Entry& e);
 
   sim::Simulator& sim_;
-  MetricsRegistry* registry_;
-  Tracer* tracer_;
+  ObsContext obs_;
   SimDuration cadence_;
   std::vector<Entry> entries_;
   sim::EventHandle timer_;                   // global tick

@@ -1,0 +1,103 @@
+#include "obs/thread_buffer_sink.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <numeric>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace dyrs::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> next_sink_id{1};
+
+// Each thread caches (sink id -> buffer) so the steady-state emit path is a
+// small linear scan over the sinks this thread has ever used (one, in
+// practice) and an unsynchronized push_back. Slots for destroyed sinks stay
+// behind but are inert: sink ids are never reused, so they can't match.
+struct TlSlot {
+  std::uint64_t sink_id;
+  void* buffer;
+};
+thread_local std::vector<TlSlot> tl_slots;
+
+}  // namespace
+
+ThreadLocalBufferSink::ThreadLocalBufferSink()
+    : id_(next_sink_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+ThreadLocalBufferSink::~ThreadLocalBufferSink() = default;
+
+ThreadLocalBufferSink::Buffer& ThreadLocalBufferSink::local_buffer() {
+  for (const TlSlot& slot : tl_slots) {
+    if (slot.sink_id == id_) return *static_cast<Buffer*>(slot.buffer);
+  }
+  auto owned = std::make_unique<Buffer>();
+  Buffer* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  tl_slots.push_back({id_, raw});
+  return *raw;
+}
+
+void ThreadLocalBufferSink::emit(const TraceEvent& e) { local_buffer().events.push_back(e); }
+
+std::vector<TraceEvent> ThreadLocalBufferSink::merge_thread_buffers() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    out.reserve(total);
+    for (const auto& b : buffers_) {
+      out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+  }
+  sort_by_merge_key(out);
+  return out;
+}
+
+void ThreadLocalBufferSink::write_jsonl(const std::string& path) const {
+  std::ofstream os(path, std::ios::out | std::ios::trunc);
+  DYRS_CHECK_MSG(os.is_open(), "cannot open trace file " << path);
+  for (const TraceEvent& e : merge_thread_buffers()) os << to_json(e) << "\n";
+}
+
+std::size_t ThreadLocalBufferSink::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+std::size_t ThreadLocalBufferSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& b : buffers_) total += b->events.size();
+  return total;
+}
+
+void sort_by_merge_key(std::vector<TraceEvent>& events) {
+  using Key = std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
+  // Precompute keys once — i64() is a linear field scan and the comparator
+  // runs O(n log n) times.
+  std::vector<Key> keys;
+  keys.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    keys.emplace_back(e.i64("block", -1), e.i64("lseq", 0), e.i64("tid", 0),
+                      e.i64("tseq", 0));
+  }
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  std::vector<TraceEvent> sorted;
+  sorted.reserve(events.size());
+  for (std::size_t idx : order) sorted.push_back(std::move(events[idx]));
+  events = std::move(sorted);
+}
+
+}  // namespace dyrs::obs

@@ -1,0 +1,79 @@
+// Per-thread trace buffering for multi-threaded emitters (the rt runtime).
+//
+// The sim layer's byte-identical-trace contract relies on single-threaded
+// emission; real worker threads interleave nondeterministically, so the rt
+// runtime relaxes the contract: emitters stamp every event with a stable
+// merge key instead of relying on arrival order —
+//
+//   block  the migration the event belongs to,
+//   lseq   per-block logical sequence (cycle * 8 + lifecycle rank), so a
+//          block's events order by lifecycle phase, not wall clock,
+//   tid    logical emitter ordinal (0 = master, node + 1 = slave worker),
+//   tseq   per-emitter monotone sequence, breaking ties within one phase.
+//
+// emit() appends to the calling thread's private buffer — after a one-time
+// registration (the only mutex touch) concurrent emits never contend or
+// reorder each other. merge_thread_buffers() concatenates the buffers and
+// sorts by merge key, producing one canonical stream whose per-block event
+// order is identical across runs even though wall-clock interleavings
+// differ. Timestamps, waits, and transfer durations remain wall-clock and
+// are NOT run-stable; only per-block event order is.
+//
+// Thread-safety contract: emit() may be called from any number of threads
+// concurrently; merge_thread_buffers() / write_jsonl() / event_count()
+// require all emitting threads to be quiesced first (RtMaster::shutdown or
+// wait_idle) — they read the per-thread buffers unlocked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dyrs::obs {
+
+class ThreadLocalBufferSink final : public TraceSink {
+ public:
+  ThreadLocalBufferSink();
+  ~ThreadLocalBufferSink() override;
+
+  void emit(const TraceEvent& e) override;
+
+  /// All buffered events in canonical merge-key order. Emitting threads
+  /// must be quiesced.
+  std::vector<TraceEvent> merge_thread_buffers() const;
+
+  /// Writes the merged stream as JSONL (truncates existing content).
+  void write_jsonl(const std::string& path) const;
+
+  /// Number of threads that have emitted through this sink.
+  std::size_t thread_count() const;
+
+  /// Total buffered events across all threads. Emitters must be quiesced.
+  std::size_t event_count() const;
+
+ private:
+  struct Buffer {
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& local_buffer();
+
+  // Distinct per sink and never reused, so a stale thread-local slot left
+  // behind by a destroyed sink can never be matched by a new one.
+  const std::uint64_t id_;
+  mutable std::mutex mu_;  // guards the buffer list, not the buffers
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Sorts events into canonical merge-key order: (block, lseq, tid, tseq),
+/// with blockless events (fallback block -1) first. Stable, so inputs
+/// already in a meaningful order keep it within equal keys. Exposed for
+/// tools that hold events from elsewhere (e.g. a re-parsed rt trace).
+void sort_by_merge_key(std::vector<TraceEvent>& events);
+
+}  // namespace dyrs::obs

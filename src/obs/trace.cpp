@@ -11,7 +11,7 @@ namespace {
 /// Round-trippable, locale-independent double formatting. %.17g preserves
 /// every bit; the shortest-representation pass keeps traces readable for
 /// common values (0.5, 3.25, ...). Deterministic for a given value.
-std::string format_double(double v) {
+void format_double_into(std::string& out, double v) {
   char buf[40];
   for (int precision : {9, 17}) {
     std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
@@ -19,7 +19,7 @@ std::string format_double(double v) {
     std::sscanf(buf, "%lf", &parsed);
     if (parsed == v) break;
   }
-  return buf;
+  out = buf;
 }
 
 void append_escaped(std::string& out, const std::string& s) {
@@ -43,27 +43,47 @@ void append_escaped(std::string& out, const std::string& s) {
 }
 }  // namespace
 
+// The with() overloads construct the Field in place: no temporary Field
+// whose key/value strings get moved a second time into the vector, and the
+// const char* / double overloads write straight into the stored string
+// instead of routing through an intermediate std::string.
 TraceEvent& TraceEvent::with(std::string key, std::string value) {
-  fields.push_back({std::move(key), std::move(value), 0, Kind::String});
+  Field& f = fields.emplace_back();
+  f.key = std::move(key);
+  f.str = std::move(value);
+  f.kind = Kind::String;
   return *this;
 }
 
 TraceEvent& TraceEvent::with(std::string key, const char* value) {
-  return with(std::move(key), std::string(value));
+  Field& f = fields.emplace_back();
+  f.key = std::move(key);
+  f.str = value;
+  f.kind = Kind::String;
+  return *this;
 }
 
 TraceEvent& TraceEvent::with(std::string key, std::int64_t value) {
-  fields.push_back({std::move(key), {}, value, Kind::Int});
+  Field& f = fields.emplace_back();
+  f.key = std::move(key);
+  f.i = value;
+  f.kind = Kind::Int;
   return *this;
 }
 
 TraceEvent& TraceEvent::with(std::string key, double value) {
-  fields.push_back({std::move(key), format_double(value), 0, Kind::Double});
+  Field& f = fields.emplace_back();
+  f.key = std::move(key);
+  format_double_into(f.str, value);
+  f.kind = Kind::Double;
   return *this;
 }
 
 TraceEvent& TraceEvent::with_bool(std::string key, bool value) {
-  fields.push_back({std::move(key), {}, value ? 1 : 0, Kind::Bool});
+  Field& f = fields.emplace_back();
+  f.key = std::move(key);
+  f.i = value ? 1 : 0;
+  f.kind = Kind::Bool;
   return *this;
 }
 

@@ -3,7 +3,10 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 namespace dyrs::obs {
 
@@ -16,7 +19,42 @@ struct BlockState {
   SimTime enqueued_at = -1;
   NodeId bound_node = NodeId::invalid();
   std::set<std::int64_t> zombies;  // nodes whose reclaimed binding may still emit
+  // Policy-oracle state (populated only from fields the trace carries).
+  std::int64_t size = 0;
+  std::vector<std::int64_t> replicas;
+  std::set<std::int64_t> avoid;       // accumulated from mig_requeue
+  std::int64_t pending_target = -1;   // latest mig_target while Pending
 };
+
+/// Parses the comma-joined node list mig_enqueue carries in "replicas".
+std::vector<std::int64_t> parse_id_list(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string part = csv.substr(pos, comma - pos);
+    if (!part.empty()) out.push_back(std::stoll(part));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// True for sampler probe names of the form "node<N>.dyrs.est_s_per_block".
+bool parse_est_probe(const std::string& name, std::int64_t& node) {
+  constexpr std::string_view kPrefix = "node";
+  constexpr std::string_view kSuffix = ".dyrs.est_s_per_block";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) return false;
+  const std::string digits =
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  node = std::stoll(digits);
+  return true;
+}
 
 const char* phase_name(Phase p) {
   switch (p) {
@@ -56,6 +94,14 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
   bool failover_seen = false;
   SimTime prev_at = 0;
 
+  // Policy-oracle cluster view, rebuilt purely from the trace: the latest
+  // sampled per-node migration-time estimate, plus the load each node
+  // carries (bytes bound to it, and bytes of pending blocks currently
+  // targeted at it).
+  std::map<std::int64_t, double> est_s;
+  std::map<std::int64_t, double> bound_bytes;
+  std::map<std::int64_t, double> pending_load;
+
   auto violate = [&](const char* rule, std::size_t index, const TraceEvent& e,
                      const std::string& detail) {
     if (report.violations.size() >= max_violations) return;
@@ -68,18 +114,91 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
     v.node = NodeId(e.i64("node"));
     report.violations.push_back(std::move(v));
   };
+  // Drops the block's contribution to the policy load accounting (its
+  // pending target and/or its bound bytes).
+  auto release_load = [&](BlockState& st) {
+    if (st.pending_target >= 0) {
+      double& pl = pending_load[st.pending_target];
+      pl -= static_cast<double>(st.size);
+      if (pl < 0) pl = 0;
+      st.pending_target = -1;
+    }
+    if (st.bound_node.valid()) {
+      double& bb = bound_bytes[st.bound_node.value()];
+      bb -= static_cast<double>(st.size);
+      if (bb < 0) bb = 0;
+    }
+  };
   // Abandons the open lifecycle without closing it properly; the bound node
   // may keep transferring, so it becomes a zombie for this block.
   auto abandon = [&](BlockState& st) {
+    release_load(st);
     if (st.bound_node.valid()) st.zombies.insert(st.bound_node.value());
     st.phase = Phase::Idle;
     st.enqueued_at = -1;
     st.bound_node = NodeId::invalid();
   };
+  // Replays Algorithm 1's earliest-finish choice for one mig_target. Node
+  // loads are what the trace itself implies; estimates are the last sampled
+  // probe values, i.e. a sampling-cadence snapshot of the live estimator,
+  // so the relative margin absorbs drift between samples. Skips (rather
+  // than flags) targets it cannot score: no replica set, no estimator
+  // snapshot yet for an eligible replica, or a chosen node the replay
+  // believes ineligible (its avoid/down knowledge may be incomplete).
+  auto policy_eval = [&](std::size_t i, const TraceEvent& e, const BlockState& st,
+                         std::int64_t chosen) {
+    if (st.replicas.empty() || st.size <= 0) {
+      ++report.policy_skipped;
+      return;
+    }
+    const double size = static_cast<double>(st.size);
+    const double ref = static_cast<double>(policy_reference_block);
+    double best = -1;
+    std::int64_t best_node = -1;
+    double chosen_finish = -1;
+    bool chosen_eligible = false;
+    for (std::int64_t n : st.replicas) {
+      if (st.avoid.count(n) > 0) continue;
+      auto dit = down.find(n);
+      if (dit != down.end() && dit->second > 0) continue;
+      auto eit = est_s.find(n);
+      if (eit == est_s.end()) {
+        ++report.policy_skipped;
+        return;
+      }
+      const double sec_per_byte = eit->second / ref;
+      double load = bound_bytes[n] + pending_load[n];
+      if (st.pending_target == n) load -= size;  // exclude the block itself
+      if (load < 0) load = 0;
+      const double finish = sec_per_byte * (load + size);
+      if (best < 0 || finish < best) {
+        best = finish;
+        best_node = n;
+      }
+      if (n == chosen) {
+        chosen_finish = finish;
+        chosen_eligible = true;
+      }
+    }
+    if (!chosen_eligible || best < 0) {
+      ++report.policy_skipped;
+      return;
+    }
+    ++report.policy_checked;
+    if (chosen_finish > best * (1.0 + policy_margin) + 1e-9) {
+      std::ostringstream os;
+      os << "target node " << chosen << " est finish " << chosen_finish << "s but node "
+         << best_node << " would finish in " << best << "s (margin " << policy_margin << ")";
+      violate("policy", i, e, os.str());
+    }
+  };
 
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    if (e.at < prev_at) {
+    // Merged rt traces are in canonical merge-key order (grouped per block),
+    // not chronological order, so global time monotonicity only holds for
+    // single-threaded sim traces.
+    if (profile == Profile::Sim && e.at < prev_at) {
       violate("order", i, e,
               "time went backwards: " + std::to_string(e.at) + "us after " +
                   std::to_string(prev_at) + "us");
@@ -103,6 +222,13 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
         if (st.phase == Phase::Idle) continue;
         ++report.abandoned_by_failover;
         abandon(st);
+      }
+      continue;
+    }
+    if (e.type == "sample") {
+      if (check_policy) {
+        std::int64_t n = -1;
+        if (parse_est_probe(e.str("name"), n)) est_s[n] = e.f64("value");
       }
       continue;
     }
@@ -139,6 +265,10 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
       }
       st.phase = Phase::Pending;
       st.enqueued_at = e.at;
+      st.size = e.i64("size", 0);
+      st.replicas = parse_id_list(e.str("replicas"));
+      st.avoid.clear();
+      st.pending_target = -1;
     } else if (e.type == "mig_target") {
       if (st.phase == Phase::Idle) {
         if (failover_seen) {
@@ -156,6 +286,14 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
                   "target while lifecycle is " + std::string(phase_name(st.phase)));
         }
       }
+      if (check_policy) policy_eval(i, e, st, node);
+      if (st.pending_target >= 0) {
+        double& pl = pending_load[st.pending_target];
+        pl -= static_cast<double>(st.size);
+        if (pl < 0) pl = 0;
+      }
+      st.pending_target = node;
+      if (node >= 0) pending_load[node] += static_cast<double>(st.size);
     } else if (e.type == "mig_bind") {
       if (node >= 0 && down[node] > 0) {
         violate("live-bind", i, e,
@@ -191,8 +329,15 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
         abandon(st);
         st.zombies.erase(node);
       }
+      if (st.pending_target >= 0) {
+        double& pl = pending_load[st.pending_target];
+        pl -= static_cast<double>(st.size);
+        if (pl < 0) pl = 0;
+        st.pending_target = -1;
+      }
       st.phase = Phase::Bound;
       st.bound_node = NodeId(node);
+      if (node >= 0) bound_bytes[node] += static_cast<double>(st.size);
     } else if (e.type == "mig_transfer_start") {
       if (zombie) {
         ++report.zombie_events;
@@ -234,6 +379,7 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
           violate("order", i, e, "complete without transfer_start");
         }
         ++report.lifecycles_closed;
+        release_load(st);
         st.phase = Phase::Idle;
         st.enqueued_at = -1;
         st.bound_node = NodeId::invalid();
@@ -261,12 +407,18 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
           const NodeId z = node >= 0 ? NodeId(node) : st.bound_node;
           if (z.valid()) st.zombies.insert(z.value());
         }
+        release_load(st);
         st.phase = Phase::Idle;
         st.enqueued_at = -1;
         st.bound_node = NodeId::invalid();
       }
+    } else if (e.type == "mig_requeue") {
+      // Informational for the lifecycle rules (the fresh mig_enqueue
+      // precedes it), but the policy oracle consumes its avoid node: the
+      // master excludes it from future targeting of this block.
+      const std::int64_t avoid = e.i64("avoid", -1);
+      if (avoid >= 0) st.avoid.insert(avoid);
     }
-    // mig_requeue is informational: the fresh mig_enqueue precedes it.
   }
 
   for (const auto& [block, st] : blocks) {

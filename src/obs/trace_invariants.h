@@ -42,7 +42,7 @@
 namespace dyrs::obs {
 
 struct InvariantViolation {
-  std::string rule;    // terminal | queue-wait | order | live-bind | memory-read
+  std::string rule;    // terminal | queue-wait | order | live-bind | memory-read | policy
   std::string detail;  // human-readable description
   std::size_t event_index = 0;  // offending event's position in the trace
   SimTime at = -1;
@@ -53,6 +53,8 @@ struct InvariantViolation {
 struct InvariantReport {
   std::vector<InvariantViolation> violations;
   std::size_t events = 0;
+  std::size_t policy_checked = 0;        // mig_target events the policy rule scored
+  std::size_t policy_skipped = 0;        // targets skipped (no estimator snapshot yet)
   std::size_t lifecycles_closed = 0;     // enqueues that reached a terminal
   std::size_t open_at_end = 0;           // lifecycles with no terminal by end-of-trace
   std::size_t abandoned_by_failover = 0; // open lifecycles wiped by failover
@@ -66,9 +68,36 @@ struct InvariantReport {
 
 class TraceInvariants {
  public:
+  /// Which timestamp rules apply. Sim traces are single-threaded and in
+  /// emission order, so event times are globally non-decreasing. Merged rt
+  /// traces are in canonical merge-key order — grouped by block, not
+  /// chronological — and stamped with wall-clock times, so the global
+  /// time-monotonicity rule is skipped; every per-block rule (terminal,
+  /// queue-wait, per-block phase order, live-bind, memory-read) still
+  /// applies.
+  enum class Profile { Sim, Rt };
+  Profile profile = Profile::Sim;
+
   /// Cap on recorded violations (a corrupt trace can trip thousands);
   /// checking continues but further violations only bump `events`/state.
   std::size_t max_violations = 100;
+
+  /// Opt-in Algorithm 1 policy oracle (rule "policy"). For every
+  /// `mig_target` it replays the earliest-finish choice from the latest
+  /// sampled `nodeN.dyrs.est_s_per_block` probe values plus the load the
+  /// trace itself implies (bytes bound per node, plus pending blocks'
+  /// current targets), and flags a chosen target whose estimated finish
+  /// exceeds the best eligible replica's by more than `policy_margin`
+  /// (relative). The replay sees the estimator only at sampling cadence —
+  /// between samples the live estimator drifts — so the margin absorbs
+  /// staleness; targets evaluated before any snapshot exists are counted in
+  /// `policy_skipped`, not flagged. Requires traces carrying the
+  /// `mig_enqueue.replicas` field and sampler est probes.
+  bool check_policy = false;
+  double policy_margin = 0.5;
+  /// Reference block size the est probe is normalized to (the estimator's
+  /// seconds-per-reference-block over this many bytes gives sec/byte).
+  Bytes policy_reference_block = mib(256);
 
   /// When set, lifecycles still open at end-of-trace are violations. Off by
   /// default: a run may legitimately stop (last job done) with migrations

@@ -1,20 +1,24 @@
 #include "rt/master.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
+#include "rt/rt_trace.h"
 
 namespace dyrs::rt {
 
 RtMaster::RtMaster(Options options) : options_(std::move(options)) {
   DYRS_CHECK(!options_.slaves.empty());
-  if (options_.registry != nullptr) {
-    ctr_completed_ = &options_.registry->counter("rt.migrations.completed");
-    ctr_cancelled_ = &options_.registry->counter("rt.migrations.cancelled");
-    ctr_retarget_passes_ = &options_.registry->counter("rt.retarget.passes");
-    ctr_pulls_ = &options_.registry->counter("rt.pulls");
-  }
-  for (const auto& slave_opts : options_.slaves) {
+  ctr_completed_ = options_.obs.counter("rt.migrations.completed");
+  ctr_cancelled_ = options_.obs.counter("rt.migrations.cancelled");
+  ctr_retarget_passes_ = options_.obs.counter("rt.retarget.passes");
+  ctr_pulls_ = options_.obs.counter("rt.pulls");
+  for (auto slave_opts : options_.slaves) {
+    // Slaves share the master's context and timestamp origin, so all trace
+    // emitters agree on the epoch.
+    slave_opts.obs = options_.obs;
+    slave_opts.trace_epoch = epoch_;
     auto slave = std::make_unique<RtSlave>(
         slave_opts, [this](const RtMigrationDone& d) { on_complete(d); },
         [this](NodeId node, int space) { return pull(node, space); });
@@ -23,10 +27,30 @@ RtMaster::RtMaster(Options options) : options_(std::move(options)) {
   retargeter_ = std::jthread([this](std::stop_token st) { retarget_loop(st); });
 }
 
+std::int64_t RtMaster::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void RtMaster::emit_locked(obs::TraceEvent e, std::uint64_t cycle, int rank) {
+  e.with("lseq", rt_lseq(cycle, rank))
+      .with("tid", 0)
+      .with("tseq", static_cast<std::int64_t>(++trace_seq_));
+  options_.obs.emit(e);
+}
+
 RtMaster::~RtMaster() { shutdown(); }
 
 void RtMaster::shutdown() {
   if (shut_down_.exchange(true)) return;
+  // Wake wait_idle() callers: remaining work will never drain once the
+  // slaves stop. The lock round-trip orders the wakeup after the predicate
+  // re-check, so a concurrent waiter cannot miss it.
+  {
+    std::lock_guard lock(mu_);
+  }
+  idle_cv_.notify_all();
   retargeter_.request_stop();
   if (retargeter_.joinable()) retargeter_.join();
   for (auto& [id, slave] : slaves_) slave->stop();
@@ -47,6 +71,21 @@ void RtMaster::migrate(const std::vector<RtBlock>& blocks) {
       pm.size = b.size;
       pm.replicas = b.replicas;
       pm.jobs[JobId(0)] = core::EvictionMode::Explicit;
+      pm.requested_at = now_us();
+      const std::uint64_t cycle = ++cycle_[b.block];
+      if (tracing()) {
+        std::string replicas;
+        for (NodeId n : pm.replicas) {
+          if (!replicas.empty()) replicas += ',';
+          replicas += std::to_string(n.value());
+        }
+        emit_locked(obs::TraceEvent(pm.requested_at, "mig_enqueue")
+                        .with("block", b.block.value())
+                        .with("job", 0)
+                        .with("size", static_cast<std::int64_t>(b.size))
+                        .with("replicas", std::move(replicas)),
+                    cycle, kRankEnqueue);
+      }
       pending_.push_back(std::move(pm));
       ++outstanding_;
     }
@@ -91,7 +130,27 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
   while (space > 0 && it != pending_.end()) {
     auto cur = it++;
     if (cur->target != node) continue;
-    out.push_back({cur->block, cur->size});
+    const std::uint64_t cycle = cycle_[cur->block];
+    if (tracing()) {
+      // The rt runtime emits `mig_target` once, for the decision that
+      // stuck, at the moment the block is handed out: intermediate
+      // retarget passes are timing-dependent and would make the event
+      // count nondeterministic. Binding happens in the same step (the
+      // pull IS the bind), so `mig_bind` shares the timestamp and its
+      // wait_us is exactly bind-time minus enqueue-time.
+      const std::int64_t now = now_us();
+      emit_locked(obs::TraceEvent(now, "mig_target")
+                      .with("block", cur->block.value())
+                      .with("node", node.value())
+                      .with("sec_per_byte", slaves_.at(node)->sec_per_byte()),
+                  cycle, kRankTarget);
+      emit_locked(obs::TraceEvent(now, "mig_bind")
+                      .with("block", cur->block.value())
+                      .with("node", node.value())
+                      .with("wait_us", now - cur->requested_at),
+                  cycle, kRankBind);
+    }
+    out.push_back({cur->block, cur->size, cycle});
     pending_.erase(cur);
     --space;
   }
@@ -101,6 +160,14 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
 void RtMaster::on_complete(const RtMigrationDone& done) {
   if (ctr_completed_ != nullptr) ctr_completed_->inc();
   std::lock_guard lock(mu_);
+  if (tracing()) {
+    emit_locked(obs::TraceEvent(now_us(), "mig_complete")
+                    .with("block", done.block.value())
+                    .with("node", done.node.value())
+                    .with("size", static_cast<std::int64_t>(done.size))
+                    .with("transfer_s", done.duration_s),
+                done.cycle, kRankTerminal);
+  }
   ++completed_;
   ++per_node_[done.node];
   if (--outstanding_ == 0) idle_cv_.notify_all();
@@ -113,6 +180,12 @@ bool RtMaster::cancel(BlockId block) {
       if (it->block == block) {
         pending_.erase(it);
         if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
+        if (tracing()) {
+          emit_locked(obs::TraceEvent(now_us(), "mig_abort")
+                          .with("block", block.value())
+                          .with("reason", core::to_string(core::CancelReason::MissedRead)),
+                      cycle_[block], kRankTerminal);
+        }
         if (--outstanding_ == 0) idle_cv_.notify_all();
         return true;
       }
@@ -124,6 +197,13 @@ bool RtMaster::cancel(BlockId block) {
     if (slave->cancel(block)) {
       if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
       std::lock_guard lock(mu_);
+      if (tracing()) {
+        emit_locked(obs::TraceEvent(now_us(), "mig_abort")
+                        .with("block", block.value())
+                        .with("node", id.value())
+                        .with("reason", core::to_string(core::CancelReason::MissedRead)),
+                    cycle_[block], kRankTerminal);
+      }
       if (--outstanding_ == 0) idle_cv_.notify_all();
       return true;
     }
@@ -133,7 +213,9 @@ bool RtMaster::cancel(BlockId block) {
 
 bool RtMaster::wait_idle(std::chrono::milliseconds timeout) {
   std::unique_lock lock(mu_);
-  return idle_cv_.wait_for(lock, timeout, [this] { return outstanding_ == 0; });
+  idle_cv_.wait_for(lock, timeout,
+                    [this] { return outstanding_ == 0 || shut_down_.load(); });
+  return outstanding_ == 0;
 }
 
 std::size_t RtMaster::pending() const {

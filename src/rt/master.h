@@ -19,6 +19,7 @@
 
 #include "dyrs/replica_selector.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_context.h"
 #include "rt/slave.h"
 
 namespace dyrs::rt {
@@ -34,11 +35,14 @@ class RtMaster {
   struct Options {
     std::vector<RtSlave::Options> slaves;
     std::chrono::milliseconds retarget_interval{5};
-    /// Optional shared registry; the atomic counters (rt.migrations.*,
-    /// rt.retarget.passes, rt.pulls) are safe to bump from worker threads.
-    /// No tracer here: event ordering across threads is nondeterministic,
-    /// which would break the byte-identical-trace contract.
-    obs::MetricsRegistry* registry = nullptr;
+    /// Observability handle shared by the master and every slave. The
+    /// atomic counters (rt.migrations.*, rt.retarget.passes, rt.pulls) are
+    /// safe to bump from worker threads. Tracing additionally requires a
+    /// thread-safe sink — ThreadLocalBufferSink is the intended one: every
+    /// event carries a stable merge key (block, lseq, tid, tseq) so
+    /// merge_thread_buffers() restores a canonical per-block order that is
+    /// identical across runs even though wall-clock interleavings differ.
+    obs::ObsContext obs;
   };
 
   explicit RtMaster(Options options);
@@ -49,12 +53,14 @@ class RtMaster {
   /// Queues blocks for migration (thread-safe; callable from any thread).
   void migrate(const std::vector<RtBlock>& blocks);
 
-  /// Blocks the caller until every queued migration completed, or until
-  /// `timeout` elapses. Returns true if drained.
+  /// Blocks the caller until every queued migration completed or
+  /// cancelled, or until `timeout` elapses, or until shutdown() discards
+  /// the remaining work. Returns true only if actually drained.
   bool wait_idle(std::chrono::milliseconds timeout);
 
   /// Missed-read cancellation: drops `block` from the pending list or
-  /// interrupts it at whichever slave holds it. Returns true if found.
+  /// interrupts it at whichever slave holds it. Returns true if found — the
+  /// migration then settles as cancelled and never reports completion.
   bool cancel(BlockId block);
 
   RtSlave& slave(NodeId id);
@@ -71,14 +77,22 @@ class RtMaster {
   void on_complete(const RtMigrationDone& done);
   void retarget_loop(std::stop_token st);
   void retarget_locked();
+  bool tracing() const { return options_.obs.tracing(); }
+  std::int64_t now_us() const;
+  /// Appends the merge-key fields all master-emitted events share (tid 0:
+  /// master emissions are serialized under mu_) and emits. Caller holds mu_.
+  void emit_locked(obs::TraceEvent e, std::uint64_t cycle, int rank);
 
   Options options_;
+  const std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   std::list<core::PendingMigration> pending_;
   long outstanding_ = 0;  // queued at master + bound at slaves, not done
   long completed_ = 0;
   std::unordered_map<NodeId, long> per_node_;
+  std::unordered_map<BlockId, std::uint64_t> cycle_;  // per-block migrate() count
+  std::uint64_t trace_seq_ = 0;                       // master tseq; under mu_
   std::unordered_map<NodeId, std::unique_ptr<RtSlave>> slaves_;
   obs::Counter* ctr_completed_ = nullptr;
   obs::Counter* ctr_cancelled_ = nullptr;

@@ -1,0 +1,30 @@
+// Merge-key vocabulary for rt trace events.
+//
+// rt events cannot rely on emission order (worker threads interleave), so
+// every event carries a stable key the ThreadLocalBufferSink merge sorts
+// by: (block, lseq, tid, tseq). `lseq` encodes the lifecycle phase within a
+// block's current migration cycle — a block migrated twice (complete, then
+// migrated again) gets cycle 2, so its second lifecycle sorts after its
+// first. `tid` is a logical emitter ordinal, not an OS thread id: 0 for the
+// master (whose emissions are serialized under its mutex) and node + 1 for
+// a slave's worker thread, so the ordinal is stable across runs.
+#pragma once
+
+#include <cstdint>
+
+namespace dyrs::rt {
+
+// Lifecycle ranks within one migration cycle. Terminal events (complete,
+// abort) share the top rank — a lifecycle has exactly one of them.
+inline constexpr int kRankEnqueue = 1;
+inline constexpr int kRankTarget = 2;
+inline constexpr int kRankBind = 3;
+inline constexpr int kRankTransfer = 4;
+inline constexpr int kRankRetry = 5;
+inline constexpr int kRankTerminal = 6;
+
+inline std::int64_t rt_lseq(std::uint64_t cycle, int rank) {
+  return static_cast<std::int64_t>(cycle) * 8 + rank;
+}
+
+}  // namespace dyrs::rt

@@ -3,12 +3,17 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/trace.h"
+#include "rt/rt_trace.h"
 
 namespace dyrs::rt {
 
 RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
                  std::function<std::vector<RtMigration>(NodeId, int)> pull)
     : options_(options),
+      epoch_(options.trace_epoch == std::chrono::steady_clock::time_point{}
+                 ? std::chrono::steady_clock::now()
+                 : options.trace_epoch),
       disk_(options.disk_bandwidth),
       on_complete_(std::move(on_complete)),
       pull_(std::move(pull)),
@@ -22,6 +27,12 @@ RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on
 }
 
 RtSlave::~RtSlave() { stop(); }
+
+std::int64_t RtSlave::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
 
 void RtSlave::stop() {
   worker_.request_stop();
@@ -109,34 +120,50 @@ void RtSlave::worker_loop(std::stop_token st) {
       active_cancelled_.store(false, std::memory_order_relaxed);
     }
 
+    if (options_.obs.tracing()) {
+      options_.obs.emit(obs::TraceEvent(now_us(), "mig_transfer_start")
+                            .with("block", next.block.value())
+                            .with("node", options_.node.value())
+                            .with("size", static_cast<std::int64_t>(next.size))
+                            .with("attempt", 1)
+                            .with("lseq", rt_lseq(next.cycle, kRankTransfer))
+                            .with("tid", options_.node.value() + 1)
+                            .with("tseq", static_cast<std::int64_t>(++tseq_)));
+    }
+
     const auto started = std::chrono::steady_clock::now();
     const bool finished = disk_.read(next.size, &active_cancelled_);
     const double duration_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
 
-    if (!finished) {
-      // Missed read: discard the partial migration, learn nothing from it.
+    bool discarded = false;
+    {
       std::lock_guard lock(mu_);
       in_flight_bytes_ = 0;
       active_block_ = BlockId::invalid();
-      continue;
+      // The cancelled flag is re-checked even after a finished read: a
+      // cancel that lands between the read completing and this lock being
+      // reacquired has already returned true to the caller — the master
+      // settled the migration as cancelled — so reporting a completion too
+      // would settle it twice (and drive `outstanding_` negative).
+      if (!finished || active_cancelled_.load(std::memory_order_relaxed)) {
+        discarded = true;  // missed read: learn nothing from it
+      } else {
+        estimator_.on_complete(next.size, duration_s);
+        // "Pin" the block: allocate and fill a real buffer.
+        buffers_.emplace(next.block,
+                         std::vector<std::byte>(static_cast<std::size_t>(next.size)));
+        ++completed_;
+      }
     }
+    if (discarded) continue;
 
     RtMigrationDone done;
     done.block = next.block;
     done.node = options_.node;
     done.size = next.size;
     done.duration_s = duration_s;
-    {
-      std::lock_guard lock(mu_);
-      in_flight_bytes_ = 0;
-      active_block_ = BlockId::invalid();
-      estimator_.on_complete(next.size, duration_s);
-      // "Pin" the block: allocate and fill a real buffer.
-      buffers_.emplace(next.block,
-                       std::vector<std::byte>(static_cast<std::size_t>(next.size)));
-      ++completed_;
-    }
+    done.cycle = next.cycle;
     if (on_complete_) on_complete_(done);
   }
 }

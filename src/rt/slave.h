@@ -9,6 +9,7 @@
 // §III-A1 with real threads and condition variables.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -20,6 +21,7 @@
 
 #include "common/ids.h"
 #include "dyrs/estimator.h"
+#include "obs/obs_context.h"
 #include "rt/throttled_disk.h"
 
 namespace dyrs::rt {
@@ -27,6 +29,9 @@ namespace dyrs::rt {
 struct RtMigration {
   BlockId block;
   Bytes size = 0;
+  /// Per-block migration-cycle number assigned by the master; trace events
+  /// for this lifecycle derive their merge key (`lseq`) from it.
+  std::uint64_t cycle = 1;
 };
 
 struct RtMigrationDone {
@@ -34,6 +39,7 @@ struct RtMigrationDone {
   NodeId node;
   Bytes size = 0;
   double duration_s = 0;
+  std::uint64_t cycle = 1;
 };
 
 class RtSlave {
@@ -44,6 +50,14 @@ class RtSlave {
     int queue_capacity = 2;
     double ewma_alpha = 0.3;
     Bytes reference_block = mib(8);
+    /// Observability handle shared with the master. Counter bumps are safe
+    /// from the worker thread; tracing additionally requires a thread-safe
+    /// sink (ThreadLocalBufferSink) — events are stamped with the rt merge
+    /// key, not emission order.
+    obs::ObsContext obs;
+    /// Timestamp origin for trace events (shared with the master so all
+    /// emitters agree); the slave's construction time when left default.
+    std::chrono::steady_clock::time_point trace_epoch{};
   };
 
   /// `on_complete` runs on the slave's worker thread.
@@ -82,7 +96,10 @@ class RtSlave {
  private:
   void worker_loop(std::stop_token st);
 
+  std::int64_t now_us() const;
+
   Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
   ThrottledDisk disk_;
   std::function<void(const RtMigrationDone&)> on_complete_;
   std::function<std::vector<RtMigration>(NodeId, int)> pull_;
@@ -97,6 +114,7 @@ class RtSlave {
   std::unordered_map<BlockId, std::vector<std::byte>> buffers_;
   long completed_ = 0;
   bool poked_ = false;
+  std::uint64_t tseq_ = 0;  // trace merge-key sequence; worker thread only
 
   std::jthread worker_;  // last member: joins before the rest is destroyed
 };

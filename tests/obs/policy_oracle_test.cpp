@@ -1,0 +1,158 @@
+// Policy oracle: the opt-in TraceInvariants rule that replays Algorithm 1's
+// earliest-finish targeting from sampled `nodeN.dyrs.est_s_per_block` probe
+// values and the loads a trace implies, flagging mig_target choices that
+// contradict the sampled estimates. Synthetic traces pin down the rule's
+// exact behaviour; a real DYRS sim run with sampling must come out clean.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/testbed.h"
+#include "obs/trace_invariants.h"
+#include "obs/trace_reader.h"
+#include "workloads/sort.h"
+
+namespace dyrs::obs {
+namespace {
+
+TraceEvent sample(SimTime at, int node, double est_s) {
+  TraceEvent e(at, "sample");
+  e.with("name", "node" + std::to_string(node) + ".dyrs.est_s_per_block").with("value", est_s);
+  return e;
+}
+
+TraceEvent enqueue(SimTime at, int block, Bytes size, const char* replicas) {
+  TraceEvent e(at, "mig_enqueue");
+  e.with("block", block).with("job", 1).with("size", static_cast<std::int64_t>(size))
+      .with("replicas", replicas);
+  return e;
+}
+
+TraceEvent target(SimTime at, int block, int node) {
+  TraceEvent e(at, "mig_target");
+  e.with("block", block).with("node", node).with("sec_per_byte", 1e-9);
+  return e;
+}
+
+TraceInvariants policy_oracle(double margin = 0.5) {
+  TraceInvariants oracle;
+  oracle.check_policy = true;
+  oracle.policy_margin = margin;
+  oracle.policy_reference_block = mib(256);
+  return oracle;
+}
+
+std::size_t policy_violations(const InvariantReport& report) {
+  std::size_t n = 0;
+  for (const auto& v : report.violations) {
+    if (v.rule == "policy") ++n;
+  }
+  return n;
+}
+
+TEST(PolicyOracle, FlagsTargetContradictingSampledEstimates) {
+  // Node 0 is 50x faster per block and both are idle — targeting node 1
+  // contradicts the earliest-finish rule way beyond any margin.
+  std::vector<TraceEvent> events = {sample(0, 0, 2.0), sample(0, 1, 100.0),
+                                    enqueue(10, 7, mib(256), "0,1"), target(20, 7, 1)};
+  const InvariantReport report = policy_oracle().check(TraceReader(std::move(events)));
+  EXPECT_EQ(report.policy_checked, 1u);
+  EXPECT_EQ(policy_violations(report), 1u);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations[0].rule, "policy");
+  EXPECT_EQ(report.violations[0].block, BlockId(7));
+  EXPECT_EQ(report.violations[0].node, NodeId(1));
+}
+
+TEST(PolicyOracle, AcceptsEarliestFinishChoice) {
+  std::vector<TraceEvent> events = {sample(0, 0, 2.0), sample(0, 1, 100.0),
+                                    enqueue(10, 7, mib(256), "0,1"), target(20, 7, 0)};
+  const InvariantReport report = policy_oracle().check(TraceReader(std::move(events)));
+  EXPECT_EQ(report.policy_checked, 1u);
+  EXPECT_EQ(policy_violations(report), 0u);
+}
+
+TEST(PolicyOracle, AccountsForLoadAlreadyTargetedElsewhere) {
+  // Node 0's estimate is 3x better, but three 256MiB blocks are already
+  // targeted at node 0, so the fourth finishes sooner on node 1:
+  //   node0: 2s/block * 4 blocks queued = 8s,  node1: 6s * 1 = 6s.
+  std::vector<TraceEvent> events = {
+      sample(0, 0, 2.0),           sample(0, 1, 6.0),
+      enqueue(10, 1, mib(256), "0,1"), target(11, 1, 0),
+      enqueue(12, 2, mib(256), "0,1"), target(13, 2, 0),
+      enqueue(14, 3, mib(256), "0,1"), target(15, 3, 0),
+      enqueue(16, 4, mib(256), "0,1"), target(17, 4, 1)};
+  const InvariantReport report = policy_oracle(0.1).check(TraceReader(std::move(events)));
+  EXPECT_EQ(report.policy_checked, 4u);
+  EXPECT_EQ(policy_violations(report), 0u) << report.summary();
+
+  // The same final choice with an idle node 0 would be a contradiction.
+  std::vector<TraceEvent> bad = {sample(0, 0, 2.0), sample(0, 1, 6.0),
+                                 enqueue(16, 4, mib(256), "0,1"), target(17, 4, 1)};
+  const InvariantReport bad_report = policy_oracle(0.1).check(TraceReader(std::move(bad)));
+  EXPECT_EQ(policy_violations(bad_report), 1u);
+}
+
+TEST(PolicyOracle, SkipsTargetsWithoutEstimatorSnapshot) {
+  // No sample events at all: nothing can be scored, nothing is flagged.
+  std::vector<TraceEvent> events = {enqueue(10, 7, mib(256), "0,1"), target(20, 7, 1)};
+  const InvariantReport report = policy_oracle().check(TraceReader(std::move(events)));
+  EXPECT_EQ(report.policy_checked, 0u);
+  EXPECT_EQ(report.policy_skipped, 1u);
+  EXPECT_EQ(policy_violations(report), 0u);
+}
+
+TEST(PolicyOracle, ExcludesAvoidedAndDownNodes) {
+  // Node 0 looks better but was put on the block's avoid list by a
+  // requeue; node 2 looks best of all but sits inside a down-fault window.
+  TraceEvent requeue(11, "mig_requeue");
+  requeue.with("block", 7).with("avoid", 0);
+  TraceEvent crash(5, "fault");
+  crash.with("kind", "process-crash").with("node", 2).with("phase", "start");
+  std::vector<TraceEvent> events = {sample(0, 0, 1.0),
+                                    sample(0, 1, 50.0),
+                                    sample(0, 2, 0.5),
+                                    crash,
+                                    enqueue(10, 7, mib(256), "0,1,2"),
+                                    requeue,
+                                    target(20, 7, 1)};
+  const InvariantReport report = policy_oracle().check(TraceReader(std::move(events)));
+  EXPECT_EQ(report.policy_checked, 1u);
+  EXPECT_EQ(policy_violations(report), 0u) << report.summary();
+}
+
+TEST(PolicyOracle, CleanOnRealDyrsSimTrace) {
+  // A real DYRS run with sampling enabled: the live selector and the
+  // replayed one see the same estimator (modulo sampling cadence), so the
+  // oracle must not produce false positives. The second job lands after
+  // samples exist, guaranteeing some targets actually get scored.
+  exec::TestbedConfig config;
+  config.num_nodes = 5;
+  config.disk_bandwidth = mib_per_sec(128);
+  config.block_size = mib(128);
+  config.scheme = exec::Scheme::Dyrs;
+  config.master.slave.reference_block = mib(256);
+  config.placement_seed = 23;
+  exec::Testbed tb(config);
+  MemorySink& sink = tb.trace_to_memory();
+  tb.enable_sampling();
+  tb.load_file("/oracle/a", gib(1));
+  tb.load_file("/oracle/b", gib(1));
+  wl::SortConfig sort;
+  sort.input = gib(1);
+  sort.platform_overhead = seconds(5);
+  sort.reducers = 4;
+  tb.submit(wl::sort_job("/oracle/a", sort));
+  tb.submit_at(wl::sort_job("/oracle/b", sort), seconds(30));
+  tb.run();
+
+  TraceInvariants oracle;
+  oracle.check_policy = true;
+  const InvariantReport report = oracle.check(TraceReader(sink.events()));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.policy_checked, 0u);
+}
+
+}  // namespace
+}  // namespace dyrs::obs

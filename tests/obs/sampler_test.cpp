@@ -15,7 +15,7 @@ namespace {
 TEST(PeriodicSampler, TicksOnCadenceAndRecordsSeries) {
   sim::Simulator sim;
   MetricsRegistry registry;
-  PeriodicSampler sampler(sim, &registry, nullptr, seconds(1));
+  PeriodicSampler sampler(sim, ObsContext(&registry, nullptr), seconds(1));
 
   int calls = 0;
   sampler.add_probe("p", [&calls]() { return static_cast<double>(++calls); });
@@ -45,7 +45,7 @@ TEST(PeriodicSampler, EmitsOneSampleEventPerProbePerTick) {
   Tracer tracer;
   MemorySink sink;
   tracer.set_sink(&sink);
-  PeriodicSampler sampler(sim, nullptr, &tracer, seconds(2));
+  PeriodicSampler sampler(sim, ObsContext(nullptr, &tracer), seconds(2));
   sampler.add_probe("a", []() { return 1.5; });
   sampler.add_probe("b", []() { return 2.5; });
   sampler.start();
@@ -61,7 +61,7 @@ TEST(PeriodicSampler, EmitsOneSampleEventPerProbePerTick) {
 
 TEST(PeriodicSampler, SampleNowWorksWithoutStart) {
   sim::Simulator sim;
-  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  PeriodicSampler sampler(sim, ObsContext{}, seconds(1));
   sampler.add_probe("p", []() { return 7.0; });
   sampler.sample_now();
   ASSERT_EQ(sampler.series("p").size(), 1u);
@@ -71,9 +71,9 @@ TEST(PeriodicSampler, SampleNowWorksWithoutStart) {
 
 TEST(PeriodicSampler, RejectsBadProbesAndCadence) {
   sim::Simulator sim;
-  EXPECT_THROW(PeriodicSampler(sim, nullptr, nullptr, 0), CheckError);
+  EXPECT_THROW(PeriodicSampler(sim, ObsContext{}, 0), CheckError);
 
-  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  PeriodicSampler sampler(sim, ObsContext{}, seconds(1));
   sampler.add_probe("p", []() { return 0.0; });
   EXPECT_THROW(sampler.add_probe("p", []() { return 1.0; }), CheckError);
   EXPECT_THROW(sampler.add_probe("q", nullptr), CheckError);
@@ -82,7 +82,7 @@ TEST(PeriodicSampler, RejectsBadProbesAndCadence) {
 
 TEST(PeriodicSampler, PerProbeCadenceOverride) {
   sim::Simulator sim;
-  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(2));
+  PeriodicSampler sampler(sim, ObsContext{}, seconds(2));
   sampler.add_probe("coarse", []() { return 1.0; });
   sampler.add_probe("fine", []() { return 2.0; }, milliseconds(500));
   EXPECT_EQ(sampler.probe_cadence("coarse"), seconds(2));
@@ -111,7 +111,7 @@ TEST(PeriodicSampler, CoincidingTicksKeepDeterministicOrder) {
   Tracer tracer;
   MemorySink sink;
   tracer.set_sink(&sink);
-  PeriodicSampler sampler(sim, nullptr, &tracer, seconds(2));
+  PeriodicSampler sampler(sim, ObsContext(nullptr, &tracer), seconds(2));
   sampler.add_probe("fast", []() { return 1.0; }, seconds(1));
   sampler.add_probe("global", []() { return 2.0; });
   sampler.start();
@@ -129,7 +129,7 @@ TEST(PeriodicSampler, CoincidingTicksKeepDeterministicOrder) {
 
 TEST(PeriodicSampler, ExplicitGlobalCadenceBehavesLikeDefault) {
   sim::Simulator sim;
-  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  PeriodicSampler sampler(sim, ObsContext{}, seconds(1));
   // Passing the global cadence explicitly is normalized to "follow global":
   // one shared timer, registration order within the tick.
   sampler.add_probe("explicit", []() { return 1.0; }, seconds(1));
@@ -141,7 +141,7 @@ TEST(PeriodicSampler, ExplicitGlobalCadenceBehavesLikeDefault) {
 
 TEST(PeriodicSampler, RejectsCadenceMisuse) {
   sim::Simulator sim;
-  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  PeriodicSampler sampler(sim, ObsContext{}, seconds(1));
   EXPECT_THROW(sampler.add_probe("neg", []() { return 0.0; }, -seconds(1)), CheckError);
   EXPECT_THROW(sampler.probe_cadence("missing"), CheckError);
   sampler.add_probe("ok", []() { return 0.0; });
@@ -151,7 +151,7 @@ TEST(PeriodicSampler, RejectsCadenceMisuse) {
 
 TEST(PeriodicSampler, ProbeNamesInRegistrationOrder) {
   sim::Simulator sim;
-  PeriodicSampler sampler(sim, nullptr, nullptr, seconds(1));
+  PeriodicSampler sampler(sim, ObsContext{}, seconds(1));
   sampler.add_probe("z", []() { return 0.0; });
   sampler.add_probe("a", []() { return 0.0; });
   const auto names = sampler.probe_names();

@@ -5,6 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/thread_buffer_sink.h"
+#include "obs/trace.h"
+#include "obs/trace_invariants.h"
+#include "obs/trace_reader.h"
 #include "rt/throttled_disk.h"
 
 namespace dyrs::rt {
@@ -177,6 +186,111 @@ TEST(RtMaster, WaitIdleTimesOutWhenBusy) {
   RtMaster master({.slaves = {slave_opts(0, mib_per_sec(1))}, .retarget_interval = 2ms});
   master.migrate(blocks_on_all(3, 1));
   EXPECT_FALSE(master.wait_idle(30ms));
+}
+
+TEST(RtMaster, CancelRacesBoundTransfer) {
+  // Migrate one tiny block per round and cancel immediately: the cancel
+  // lands before the pull, mid-transfer, or after the read already
+  // finished. A cancel and a completion must never both settle the same
+  // migration — if they did, the outstanding count would go negative and
+  // completed + cancelled would exceed the rounds.
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(400))}, .retarget_interval = 1ms});
+  const int rounds = 60;
+  long cancelled = 0;
+  for (int i = 0; i < rounds; ++i) {
+    master.migrate(blocks_on_all(1, 1, 64 * kKiB));  // ~160us transfer
+    if (i % 3 != 0) std::this_thread::sleep_for(std::chrono::microseconds(i * 7 % 300));
+    if (master.cancel(BlockId(0))) ++cancelled;
+    ASSERT_TRUE(master.wait_idle(10s)) << "round " << i << " never settled";
+  }
+  EXPECT_EQ(master.completed() + cancelled, rounds);
+}
+
+TEST(RtMaster, WaitIdleReturnsWhenShutdownDiscardsWork) {
+  // shutdown() discards queued work; a waiter must observe that and give
+  // up (returning false: not drained) instead of sleeping out its timeout.
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(1))}, .retarget_interval = 2ms});
+  master.migrate(blocks_on_all(5, 1));  // ~5s of work on a 1MiB/s disk
+  std::jthread stopper([&master] {
+    std::this_thread::sleep_for(50ms);
+    master.shutdown();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(master.wait_idle(30s));
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(s, 5.0);
+}
+
+/// Per-block `type@node` signature, the run-stable projection of a merged
+/// rt trace.
+std::map<std::int64_t, std::string> block_signatures(const std::vector<obs::TraceEvent>& events) {
+  std::map<std::int64_t, std::string> per_block;
+  for (const obs::TraceEvent& e : events) {
+    if (e.type.rfind("mig_", 0) != 0) continue;
+    const std::int64_t block = e.i64("block");
+    if (block < 0) continue;
+    std::string& line = per_block[block];
+    if (!line.empty()) line += ' ';
+    line += e.type;
+    const std::int64_t node = e.i64("node");
+    if (node >= 0) {
+      line += '@';
+      line += std::to_string(node);
+    }
+  }
+  return per_block;
+}
+
+/// Mini soak with tracing: 12 fast single-replica blocks on nodes 0/1, 4
+/// slow blocks pinned to a crippled node 2, one deterministic pending
+/// cancel. Single-replica blocks make the schedule timing-independent.
+std::vector<obs::TraceEvent> traced_run() {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ThreadLocalBufferSink sink;
+  tracer.set_sink(&sink);
+  RtMaster::Options options;
+  options.slaves = {slave_opts(0, mib_per_sec(256)), slave_opts(1, mib_per_sec(256)),
+                    slave_opts(2, mib_per_sec(4))};
+  options.retarget_interval = 2ms;
+  options.obs = obs::ObsContext(&registry, &tracer);
+  RtMaster master(std::move(options));
+  std::vector<RtBlock> blocks;
+  for (int i = 0; i < 12; ++i) {
+    blocks.push_back({BlockId(i), 256 * kKiB, {NodeId(i % 2)}});
+  }
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back({BlockId(100 + i), 256 * kKiB, {NodeId(2)}});
+  }
+  master.migrate(blocks);
+  // Node 2 holds at most 3 blocks this early (1 active + 2 queued), each
+  // taking 62.5ms, so block 103 is still pending: a node-less abort.
+  EXPECT_TRUE(master.cancel(BlockId(103)));
+  EXPECT_TRUE(master.wait_idle(30s));
+  master.shutdown();  // quiesce emitters before reading buffers
+  return sink.merge_thread_buffers();
+}
+
+TEST(RtTrace, DeterministicPerBlockOrder) {
+  const auto run1 = block_signatures(traced_run());
+  const auto run2 = block_signatures(traced_run());
+  EXPECT_EQ(run1, run2);
+  ASSERT_EQ(run1.size(), 16u);
+  EXPECT_EQ(run1.at(103), "mig_enqueue mig_abort");
+  EXPECT_EQ(run1.at(0),
+            "mig_enqueue mig_target@0 mig_bind@0 mig_transfer_start@0 mig_complete@0");
+}
+
+TEST(RtTrace, SatisfiesRtInvariants) {
+  obs::TraceReader reader(traced_run());
+  obs::TraceInvariants oracle;
+  oracle.profile = obs::TraceInvariants::Profile::Rt;
+  oracle.flag_open_lifecycles = true;  // every lifecycle must have settled
+  const obs::InvariantReport report = oracle.check(reader);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.lifecycles_closed, 16u);
+  EXPECT_EQ(report.open_at_end, 0u);
 }
 
 }  // namespace
