@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "dyrs/replica_selector.h"
+#include "core/replica_selector.h"
 
 using namespace dyrs;
 using namespace dyrs::core;

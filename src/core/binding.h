@@ -1,0 +1,41 @@
+// Binding and ordering policy knobs of the migration control plane.
+//
+// The paper's evaluated configurations are combinations of these, not
+// separate code paths (see src/dyrs/strategies.h):
+//   * Binding::LateTargeted   — DYRS: bind at pull time to the Algorithm 1
+//     earliest-finish target (§III-A1/§III-A2).
+//   * Binding::LateAnyReplica — naive balancer: bind at pull time to any
+//     replica holder with queue space (the Fig 10 straggler foil).
+//   * Binding::EagerRandom    — Ignem: bind to a uniformly random replica
+//     the moment the migration command arrives.
+#pragma once
+
+namespace dyrs::core {
+
+enum class Binding { LateTargeted, LateAnyReplica, EagerRandom };
+
+/// Order in which pending migrations are considered for binding. The paper
+/// ships FIFO and names alternative policies as future work (§III);
+/// SmallestJobFirst favours jobs with the least outstanding migration work
+/// (their whole input becomes memory-resident soonest, maximizing
+/// fully-accelerated jobs).
+enum class Ordering { Fifo, SmallestJobFirst };
+
+inline const char* to_string(Binding b) {
+  switch (b) {
+    case Binding::LateTargeted: return "late-targeted";
+    case Binding::LateAnyReplica: return "late-any-replica";
+    case Binding::EagerRandom: return "eager-random";
+  }
+  return "?";
+}
+
+inline const char* to_string(Ordering o) {
+  switch (o) {
+    case Ordering::Fifo: return "fifo";
+    case Ordering::SmallestJobFirst: return "smallest-job-first";
+  }
+  return "?";
+}
+
+}  // namespace dyrs::core

@@ -1,0 +1,112 @@
+#include "core/control_plane.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dyrs::core {
+
+ControlPlane::Enqueued ControlPlane::enqueue(JobId job, EvictionMode mode, BlockId block,
+                                             Bytes size, std::vector<NodeId> replicas,
+                                             const std::vector<NodeId>& avoid, SimTime now) {
+  if (PendingMigration* pm = queue_.lookup(block)) {
+    pm->jobs[job] = mode;
+    merge_avoid(pm->avoid, avoid);
+    return {pm, false};
+  }
+  PendingMigration pm;
+  pm.block = block;
+  pm.size = size;
+  pm.jobs[job] = mode;
+  pm.replicas = std::move(replicas);
+  pm.avoid = avoid;
+  pm.requested_at = now;
+  PendingMigration& entry = queue_.push(std::move(pm));
+  emitter_.enqueue(now, block, job, entry.size, entry.replicas);
+  return {&entry, true};
+}
+
+TargetingStats ControlPlane::retarget(const std::vector<SlaveSnapshot>& snapshots, SimTime now) {
+  TargetingStats stats;
+  if (queue_.empty() || snapshots.empty()) return stats;
+  // Target in the same order binding will consider entries, so the greedy
+  // finish-time accounting matches the eventual assignment order.
+  std::vector<PendingMigration*> ptrs;
+  ptrs.reserve(queue_.size());
+  for (auto it : queue_.in_order(config_.ordering)) ptrs.push_back(&*it);
+  const bool trace = emitter_.tracing() &&
+                     config_.target_trace == ControlPlaneConfig::TargetTrace::AtRetarget;
+  if (!trace) return assign_targets(ptrs, snapshots);
+  std::vector<NodeId> before;
+  before.reserve(ptrs.size());
+  for (const PendingMigration* pm : ptrs) before.push_back(pm->target);
+  stats = assign_targets(ptrs, snapshots);
+  std::unordered_map<NodeId, double> sec_per_byte;
+  for (const SlaveSnapshot& s : snapshots) sec_per_byte[s.node] = s.sec_per_byte;
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    const PendingMigration& pm = *ptrs[i];
+    if (pm.target == before[i] || !pm.target.valid()) continue;
+    emitter_.target(now, pm.block, pm.target, sec_per_byte[pm.target]);
+  }
+  return stats;
+}
+
+BoundMigration ControlPlane::bind_entry(PendingQueue::iterator it, NodeId node,
+                                        double sec_per_byte, SimTime now) {
+  BoundMigration bm;
+  bm.block = it->block;
+  bm.size = it->size;
+  bm.jobs = std::move(it->jobs);
+  bm.replicas = std::move(it->replicas);
+  bm.requested_at = it->requested_at;
+  bm.bound_at = now;
+  bm.avoid = std::move(it->avoid);
+  if (config_.target_trace == ControlPlaneConfig::TargetTrace::AtBind) {
+    emitter_.target(now, bm.block, node, sec_per_byte);
+  }
+  emitter_.bind(now, bm.block, node, now - bm.requested_at);
+  binding_log_.emplace_back(bm.block, node);
+  queue_.erase(it);
+  return bm;
+}
+
+std::vector<BoundMigration> ControlPlane::bind_for(NodeId node, int free_slots,
+                                                   double sec_per_byte, SimTime now) {
+  std::vector<BoundMigration> out;
+  if (free_slots <= 0 || queue_.empty() || config_.binding == Binding::EagerRandom) return out;
+  const bool targeted = config_.binding == Binding::LateTargeted;
+  for (auto it : queue_.in_order(config_.ordering)) {
+    if (free_slots <= 0) break;
+    const bool eligible =
+        targeted ? it->target == node
+                 : std::find(it->replicas.begin(), it->replicas.end(), node) !=
+                           it->replicas.end() &&
+                       std::find(it->avoid.begin(), it->avoid.end(), node) == it->avoid.end();
+    if (!eligible) continue;
+    out.push_back(bind_entry(it, node, sec_per_byte, now));
+    --free_slots;
+  }
+  return out;
+}
+
+int ControlPlane::requeue(std::vector<BoundMigration> lost, NodeId avoid,
+                          const std::function<bool(JobId)>& job_active, const AddPending& add,
+                          SimTime now) {
+  int count = 0;
+  for (BoundMigration& m : lost) {
+    // The node that just failed joins the history carried through binding,
+    // so repeated requeues steadily narrow the candidate set.
+    if (avoid.valid()) merge_avoid(m.avoid, avoid);
+    bool requeued = false;
+    for (const auto& [job, mode] : m.jobs) {
+      if (job_active && !job_active(job)) continue;  // job finished meanwhile
+      add(job, mode, m);
+      requeued = true;
+    }
+    if (!requeued) continue;
+    ++count;
+    emitter_.requeue(now, m.block, avoid);
+  }
+  return count;
+}
+
+}  // namespace dyrs::core

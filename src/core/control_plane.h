@@ -1,0 +1,105 @@
+// ControlPlane — the backend-agnostic migration policy engine.
+//
+// Owns the *pending* half of the master's soft state (the indexed queue of
+// not-yet-bound migrations) and every policy decision over it: merge-or-
+// create on enqueue, Algorithm 1 earliest-finish targeting, binding-order
+// selection (FIFO / SmallestJobFirst), eligibility under the configured
+// binding mode, and requeue-with-avoid-list semantics after failures. It
+// also owns the lifecycle trace vocabulary via its LifecycleEmitter.
+//
+// Backends stay thin drivers that supply mechanism, not policy:
+//   * the sim master (src/dyrs) supplies SimTime, event-handle timers, the
+//     namenode (replica lookup, memory-replica registry) and owns the
+//     *bound* state (block -> node map, slave queues);
+//   * the rt master (src/rt) supplies steady_clock microseconds, a mutex
+//     and worker threads, and owns bound state as the slaves' local queues.
+//
+// All calls assume external synchronization (the sim event loop or the rt
+// master mutex); the core itself is single-threaded by design.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/binding.h"
+#include "core/lifecycle.h"
+#include "core/pending_queue.h"
+#include "core/replica_selector.h"
+#include "core/types.h"
+
+namespace dyrs::core {
+
+struct ControlPlaneConfig {
+  Binding binding = Binding::LateTargeted;
+  Ordering ordering = Ordering::Fifo;
+  /// When `mig_target` is emitted: at every retarget pass that changes an
+  /// entry's target (sim profile — the full decision history), or once at
+  /// bind time for the decision that stuck (rt profile — intermediate
+  /// passes are timing-dependent and would make event counts
+  /// nondeterministic across runs).
+  enum class TargetTrace { AtRetarget, AtBind };
+  TargetTrace target_trace = TargetTrace::AtRetarget;
+};
+
+class ControlPlane {
+ public:
+  explicit ControlPlane(ControlPlaneConfig config = {}) : config_(config) {}
+
+  void set_emitter(LifecycleEmitter emitter) { emitter_ = std::move(emitter); }
+  LifecycleEmitter& emitter() { return emitter_; }
+  PendingQueue& queue() { return queue_; }
+  const PendingQueue& queue() const { return queue_; }
+  const ControlPlaneConfig& config() const { return config_; }
+
+  struct Enqueued {
+    PendingMigration* entry = nullptr;
+    bool created = false;
+  };
+  /// Adds `block` to the pending queue, or merges the job (and avoid
+  /// history) into an existing entry — in which case `size` and `replicas`
+  /// are ignored. Emits `mig_enqueue` only for created entries.
+  Enqueued enqueue(JobId job, EvictionMode mode, BlockId block, Bytes size,
+                   std::vector<NodeId> replicas, const std::vector<NodeId>& avoid, SimTime now);
+
+  /// Algorithm 1 pass: sets each pending entry's earliest-finish target.
+  /// `snapshots` must be in the backend's deterministic node order (both
+  /// drivers precompute a sorted order at construction — the slave set is
+  /// fixed, so no per-pass sort is needed).
+  TargetingStats retarget(const std::vector<SlaveSnapshot>& snapshots, SimTime now);
+
+  /// Binds up to `free_slots` pending entries eligible for `node` under
+  /// the configured binding mode (target match for LateTargeted; replica
+  /// holder not on the avoid list for LateAnyReplica; nothing for
+  /// EagerRandom — eager strategies pick nodes themselves via bind_entry).
+  /// Emits `mig_bind` (and `mig_target` in AtBind mode) per binding.
+  std::vector<BoundMigration> bind_for(NodeId node, int free_slots, double sec_per_byte,
+                                       SimTime now);
+
+  /// Binds one specific entry to `node` and removes it from the queue.
+  BoundMigration bind_entry(PendingQueue::iterator it, NodeId node, double sec_per_byte,
+                            SimTime now);
+
+  /// Re-queues lost migrations for their still-active jobs. `avoid` (when
+  /// valid) joins each migration's carried avoid history before `add` is
+  /// invoked per (job, migration) — the driver supplies insertion because
+  /// it may resolve replicas or short-circuit (block already in memory).
+  /// Emits `mig_requeue` per migration that was re-added for at least one
+  /// job; returns how many were.
+  using AddPending = std::function<void(JobId, EvictionMode, const BoundMigration&)>;
+  int requeue(std::vector<BoundMigration> lost, NodeId avoid,
+              const std::function<bool(JobId)>& job_active, const AddPending& add, SimTime now);
+
+  /// (block, node) pairs in bind order. Per-node projections of this log
+  /// are deterministic on both backends; the sim-vs-rt differential test
+  /// compares them directly.
+  const std::vector<std::pair<BlockId, NodeId>>& binding_log() const { return binding_log_; }
+
+ private:
+  ControlPlaneConfig config_;
+  PendingQueue queue_;
+  LifecycleEmitter emitter_;
+  std::vector<std::pair<BlockId, NodeId>> binding_log_;
+};
+
+}  // namespace dyrs::core

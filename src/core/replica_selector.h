@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "common/ids.h"
-#include "dyrs/types.h"
+#include "core/types.h"
 
 namespace dyrs::core {
 

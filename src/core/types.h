@@ -1,6 +1,11 @@
-// Shared types of the DYRS migration framework.
+// Shared types of the DYRS migration control plane.
+//
+// These are backend-agnostic: the simulated master (src/dyrs) and the
+// real-threaded master (src/rt) drive the same control-plane core
+// (src/core) over the same pending/bound vocabulary.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,6 +41,12 @@ struct BoundMigration {
   BlockId block;
   Bytes size = 0;
   std::map<JobId, EvictionMode> jobs;
+  /// Disk replica holders, carried from the pending entry so a requeue can
+  /// re-target without consulting a namenode (the rt backend has none).
+  std::vector<NodeId> replicas;
+  /// Enqueue time of the pending entry this binding consumed, for
+  /// pending-wait accounting.
+  SimTime requested_at = 0;
   SimTime bound_at = 0;
   /// Migration attempts consumed on the bound slave (transient I/O errors
   /// retried with capped exponential backoff).
@@ -45,6 +56,16 @@ struct BoundMigration {
   /// ping-ponging between two bad replicas.
   std::vector<NodeId> avoid;
 };
+
+/// Adds `node` to `avoid` unless already present (avoid lists are small
+/// ordered vectors; order records failure history).
+inline void merge_avoid(std::vector<NodeId>& avoid, NodeId node) {
+  if (std::find(avoid.begin(), avoid.end(), node) == avoid.end()) avoid.push_back(node);
+}
+
+inline void merge_avoid(std::vector<NodeId>& avoid, const std::vector<NodeId>& add) {
+  for (NodeId n : add) merge_avoid(avoid, n);
+}
 
 /// Completed-migration record, kept by the master for the figure benches
 /// (straggler timelines, adaptivity traces).

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "cluster/memory.h"
-#include "dyrs/types.h"
+#include "core/types.h"
 
 namespace dyrs::core {
 

@@ -1,7 +1,6 @@
 #include "dyrs/master.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -10,7 +9,13 @@ namespace dyrs::core {
 
 MigrationMaster::MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namenode,
                                  MasterConfig config)
-    : cluster_(cluster), namenode_(namenode), config_(config), rng_(config.seed) {
+    : cluster_(cluster),
+      namenode_(namenode),
+      config_(config),
+      rng_(config.seed),
+      plane_(ControlPlaneConfig{.binding = config.binding,
+                                .ordering = config.ordering,
+                                .target_trace = ControlPlaneConfig::TargetTrace::AtRetarget}) {
   for (NodeId id : cluster_.node_ids()) {
     dfs::DataNode* dn = namenode_.datanode(id);
     MigrationSlave::Callbacks callbacks;
@@ -26,7 +31,9 @@ MigrationMaster::MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namen
     dn->on_process_crash = [this, id]() { handle_slave_crash(id); };
     estimate_series_.emplace(id, TimeSeries("estimate-" + std::to_string(id.value())));
     slaves_.emplace(id, std::move(slave));
+    node_order_.push_back(id);
   }
+  std::sort(node_order_.begin(), node_order_.end());
   heartbeat_timer_ =
       cluster_.simulator().every(config_.slave.heartbeat_interval, [this]() { pulse(); });
   if (config_.binding == MasterConfig::Binding::LateTargeted) {
@@ -74,6 +81,7 @@ void MigrationMaster::set_job_active_query(std::function<bool(JobId)> q) {
 
 void MigrationMaster::set_observability(const obs::ObsContext& obs) {
   obs_ = obs;
+  plane_.set_emitter(LifecycleEmitter(obs));
   for (auto& [id, slave] : slaves_) slave->set_obs(obs);
   ctr_enqueued_ = obs.counter("dyrs.migrations.enqueued");
   ctr_bound_ = obs.counter("dyrs.migrations.bound");
@@ -87,13 +95,7 @@ void MigrationMaster::set_observability(const obs::ObsContext& obs) {
 
 void MigrationMaster::record_cancel(CancelRecord rec) {
   if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
-  if (tracing()) {
-    obs::TraceEvent e(rec.at, "mig_abort");
-    e.with("block", rec.block.value());
-    if (rec.node.valid()) e.with("node", rec.node.value());
-    e.with("reason", to_string(rec.reason));
-    obs_.emit(e);
-  }
+  plane_.emitter().abort(rec);
   cancels_.push_back(rec);
 }
 
@@ -134,49 +136,23 @@ void MigrationMaster::add_pending(JobId job, BlockId block, EvictionMode mode,
     if (slave(bit->second).add_refs_if_local(block, {{job, mode}})) return;
     bound_.erase(bit);  // stale (completed+evicted or crashed); fall through
   }
-  // Already pending: merge.
-  auto pit = pending_index_.find(block);
-  if (pit != pending_index_.end()) {
-    pit->second->jobs[job] = mode;
-    for (NodeId n : avoid) {
-      if (std::find(pit->second->avoid.begin(), pit->second->avoid.end(), n) ==
-          pit->second->avoid.end()) {
-        pit->second->avoid.push_back(n);
-      }
-    }
+  // Already pending: merge without touching the namenode (the control
+  // plane ignores size/replicas for merges).
+  if (plane_.queue().contains(block)) {
+    plane_.enqueue(job, mode, block, 0, {}, avoid, cluster_.simulator().now());
     return;
   }
-  PendingMigration pm;
-  pm.block = block;
-  pm.size = namenode_.ns().block(block).size;
-  pm.jobs[job] = mode;
-  pm.replicas = namenode_.raw_replicas(block);
-  pm.avoid = avoid;
-  pm.requested_at = cluster_.simulator().now();
   if (ctr_enqueued_ != nullptr) ctr_enqueued_->inc();
-  if (tracing()) {
-    // The replica set rides along so trace consumers (the policy oracle)
-    // know which nodes Algorithm 1 could have chosen.
-    std::string replicas;
-    for (NodeId n : pm.replicas) {
-      if (!replicas.empty()) replicas += ',';
-      replicas += std::to_string(n.value());
-    }
-    obs_.emit(obs::TraceEvent(pm.requested_at, "mig_enqueue")
-                  .with("block", block.value())
-                  .with("job", job.value())
-                  .with("size", static_cast<std::int64_t>(pm.size))
-                  .with("replicas", std::move(replicas)));
-  }
-  pending_.push_back(std::move(pm));
-  pending_index_[block] = std::prev(pending_.end());
+  plane_.enqueue(job, mode, block, namenode_.ns().block(block).size,
+                 namenode_.raw_replicas(block), avoid, cluster_.simulator().now());
 }
 
 void MigrationMaster::eager_bind_all() {
   // Ignem: bind every pending block to a uniformly random replica holder
   // immediately upon receiving the migration command.
-  while (!pending_.empty()) {
-    auto it = pending_.begin();
+  PendingQueue& queue = plane_.queue();
+  while (!queue.empty()) {
+    auto it = queue.begin();
     std::vector<NodeId> candidates;
     for (NodeId n : it->replicas) {
       if (std::find(it->avoid.begin(), it->avoid.end(), n) != it->avoid.end()) continue;
@@ -184,52 +160,31 @@ void MigrationMaster::eager_bind_all() {
       if (sit != slaves_.end() && reachable(n, *sit->second)) candidates.push_back(n);
     }
     if (candidates.empty()) {
-      pending_index_.erase(it->block);
-      pending_.erase(it);
+      queue.erase(it);
       continue;
     }
     const NodeId choice = candidates[static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
-    bind(it, slave(choice));
+    MigrationSlave& target = slave(choice);
+    finish_bind(plane_.bind_entry(it, choice, target.estimator().per_byte_estimate(),
+                                  cluster_.simulator().now()),
+                target);
   }
 }
 
 void MigrationMaster::retarget_now() {
-  if (pending_.empty()) return;
+  if (plane_.queue().empty()) return;
   std::vector<SlaveSnapshot> snapshots;
-  snapshots.reserve(slaves_.size());
-  for (auto& [id, slave] : slaves_) {
-    if (!reachable(id, *slave)) continue;
+  snapshots.reserve(node_order_.size());
+  for (NodeId id : node_order_) {
+    MigrationSlave& s = *slaves_.at(id);
+    if (!reachable(id, s)) continue;
     snapshots.push_back({.node = id,
-                         .sec_per_byte = slave->estimator().per_byte_estimate(),
-                         .queued_bytes = slave->bound_bytes()});
+                         .sec_per_byte = s.estimator().per_byte_estimate(),
+                         .queued_bytes = s.bound_bytes()});
   }
   if (snapshots.empty()) return;
-  std::sort(snapshots.begin(), snapshots.end(),
-            [](const SlaveSnapshot& a, const SlaveSnapshot& b) { return a.node < b.node; });
-  // Target in the same order binding will consider entries, so the greedy
-  // finish-time accounting matches the eventual assignment order.
-  std::vector<PendingMigration*> ptrs;
-  ptrs.reserve(pending_.size());
-  for (auto it : pending_in_order()) ptrs.push_back(&*it);
-  if (!tracing()) {
-    assign_targets(ptrs, snapshots);
-    return;
-  }
-  std::vector<NodeId> before;
-  before.reserve(ptrs.size());
-  for (const PendingMigration* pm : ptrs) before.push_back(pm->target);
-  assign_targets(ptrs, snapshots);
-  std::unordered_map<NodeId, double> sec_per_byte;
-  for (const SlaveSnapshot& s : snapshots) sec_per_byte[s.node] = s.sec_per_byte;
-  for (std::size_t i = 0; i < ptrs.size(); ++i) {
-    const PendingMigration& pm = *ptrs[i];
-    if (pm.target == before[i] || !pm.target.valid()) continue;
-    obs_.emit(obs::TraceEvent(cluster_.simulator().now(), "mig_target")
-                  .with("block", pm.block.value())
-                  .with("node", pm.target.value())
-                  .with("sec_per_byte", sec_per_byte[pm.target]));
-  }
+  plane_.retarget(snapshots, cluster_.simulator().now());
 }
 
 void MigrationMaster::pulse() {
@@ -254,67 +209,21 @@ void MigrationMaster::pulse() {
   rebuilding_ = false;
 }
 
-std::vector<std::list<PendingMigration>::iterator> MigrationMaster::pending_in_order() {
-  std::vector<std::list<PendingMigration>::iterator> order;
-  order.reserve(pending_.size());
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) order.push_back(it);
-  if (config_.ordering == MasterConfig::Ordering::SmallestJobFirst && order.size() > 1) {
-    // A job's priority is its outstanding pending bytes; an entry wanted
-    // by several jobs inherits the most urgent (smallest) one. Stable sort
-    // keeps FIFO order within a job.
-    std::unordered_map<JobId, Bytes> outstanding;
-    for (const auto& pm : pending_) {
-      for (const auto& [job, mode] : pm.jobs) outstanding[job] += pm.size;
-    }
-    auto key = [&outstanding](const PendingMigration& pm) {
-      Bytes best = std::numeric_limits<Bytes>::max();
-      for (const auto& [job, mode] : pm.jobs) best = std::min(best, outstanding[job]);
-      return best;
-    };
-    std::stable_sort(order.begin(), order.end(),
-                     [&key](const auto& a, const auto& b) { return key(*a) < key(*b); });
-  }
-  return order;
-}
-
 void MigrationMaster::pull_for(MigrationSlave& slave) {
   if (config_.binding == MasterConfig::Binding::EagerRandom) return;
-  int free = slave.free_slots();
-  if (free <= 0 || pending_.empty()) return;
-  const bool targeted = config_.binding == MasterConfig::Binding::LateTargeted;
-  for (auto cur : pending_in_order()) {
-    if (free <= 0) break;
-    const bool eligible =
-        targeted ? (cur->target == slave.id())
-                 : std::find(cur->replicas.begin(), cur->replicas.end(), slave.id()) !=
-                           cur->replicas.end() &&
-                       std::find(cur->avoid.begin(), cur->avoid.end(), slave.id()) ==
-                           cur->avoid.end();
-    if (!eligible) continue;
-    bind(cur, slave);
-    --free;
+  for (BoundMigration& bm :
+       plane_.bind_for(slave.id(), slave.free_slots(), slave.estimator().per_byte_estimate(),
+                       cluster_.simulator().now())) {
+    finish_bind(std::move(bm), slave);
   }
 }
 
-void MigrationMaster::bind(std::list<PendingMigration>::iterator it, MigrationSlave& slave) {
-  BoundMigration bm;
-  bm.block = it->block;
-  bm.size = it->size;
-  bm.jobs = it->jobs;
-  bm.avoid = it->avoid;
-  bm.bound_at = cluster_.simulator().now();
-  const BlockId block = it->block;
-  const SimDuration wait = bm.bound_at - it->requested_at;
+void MigrationMaster::finish_bind(BoundMigration bm, MigrationSlave& slave) {
   if (ctr_bound_ != nullptr) ctr_bound_->inc();
-  if (hist_pending_wait_s_ != nullptr) hist_pending_wait_s_->add(to_seconds(wait));
-  if (tracing()) {
-    obs_.emit(obs::TraceEvent(bm.bound_at, "mig_bind")
-                  .with("block", block.value())
-                  .with("node", slave.id().value())
-                  .with("wait_us", static_cast<std::int64_t>(wait)));
+  if (hist_pending_wait_s_ != nullptr) {
+    hist_pending_wait_s_->add(to_seconds(bm.bound_at - bm.requested_at));
   }
-  pending_index_.erase(block);
-  pending_.erase(it);
+  const BlockId block = bm.block;
   if (slave.enqueue(std::move(bm))) {
     bound_[block] = slave.id();
   } else {
@@ -339,13 +248,8 @@ void MigrationMaster::handle_migration_complete(const MigrationRecord& record) {
     ctr_bytes_->add(static_cast<std::int64_t>(record.size));
     hist_transfer_s_->add(transfer_s);
   }
-  if (tracing()) {
-    obs_.emit(obs::TraceEvent(record.finished_at, "mig_complete")
-                  .with("block", record.block.value())
-                  .with("node", record.node.value())
-                  .with("size", static_cast<std::int64_t>(record.size))
-                  .with("transfer_s", transfer_s));
-  }
+  plane_.emitter().complete(record.finished_at, record.block, record.node, record.size,
+                            transfer_s);
   records_.push_back(record);
 }
 
@@ -417,33 +321,15 @@ void MigrationMaster::reclaim_bound_on(NodeId node, CancelReason reason) {
 }
 
 void MigrationMaster::requeue_lost(std::vector<BoundMigration> lost, NodeId avoid) {
-  bool any = false;
-  for (auto& m : lost) {
-    // The node that just failed joins the history carried through binding,
-    // so repeated requeues steadily narrow the candidate set.
-    std::vector<NodeId> avoid_all = std::move(m.avoid);
-    if (avoid.valid() && std::find(avoid_all.begin(), avoid_all.end(), avoid) == avoid_all.end()) {
-      avoid_all.push_back(avoid);
-    }
-    bool requeued = false;
-    for (const auto& [job, mode] : m.jobs) {
-      if (job_active_ && !job_active_(job)) continue;  // job finished meanwhile
-      add_pending(job, m.block, mode, avoid_all);
-      requeued = true;
-    }
-    if (requeued) {
-      ++requeued_;
-      any = true;
-      if (ctr_requeued_ != nullptr) ctr_requeued_->inc();
-      if (tracing()) {
-        obs::TraceEvent e(cluster_.simulator().now(), "mig_requeue");
-        e.with("block", m.block.value());
-        if (avoid.valid()) e.with("avoid", avoid.value());
-        obs_.emit(e);
-      }
-    }
-  }
-  if (!any) return;
+  const int requeued = plane_.requeue(
+      std::move(lost), avoid, job_active_,
+      [this](JobId job, EvictionMode mode, const BoundMigration& m) {
+        add_pending(job, m.block, mode, m.avoid);
+      },
+      cluster_.simulator().now());
+  if (requeued == 0) return;
+  requeued_ += requeued;
+  if (ctr_requeued_ != nullptr) ctr_requeued_->add(requeued);
   if (config_.binding == MasterConfig::Binding::EagerRandom) {
     eager_bind_all();
   } else if (config_.binding == MasterConfig::Binding::LateTargeted) {
@@ -453,14 +339,14 @@ void MigrationMaster::requeue_lost(std::vector<BoundMigration> lost, NodeId avoi
 
 void MigrationMaster::evict_job(JobId job) {
   // Drop the job from pending migrations first.
-  for (auto it = pending_.begin(); it != pending_.end();) {
+  PendingQueue& queue = plane_.queue();
+  for (auto it = queue.begin(); it != queue.end();) {
     it->jobs.erase(job);
     if (it->jobs.empty()) {
       record_cancel({.block = it->block,
                      .reason = CancelReason::Superseded,
                      .at = cluster_.simulator().now()});
-      pending_index_.erase(it->block);
-      it = pending_.erase(it);
+      it = queue.erase(it);
     } else {
       ++it;
     }
@@ -484,10 +370,7 @@ void MigrationMaster::evict_job(JobId job) {
 
 void MigrationMaster::on_blocks_deleted(const std::vector<BlockId>& blocks) {
   for (BlockId block : blocks) {
-    auto pit = pending_index_.find(block);
-    if (pit != pending_index_.end()) {
-      pending_.erase(pit->second);
-      pending_index_.erase(pit);
+    if (plane_.queue().erase(block)) {
       record_cancel({.block = block,
                      .reason = CancelReason::Superseded,
                      .at = cluster_.simulator().now()});
@@ -515,16 +398,15 @@ void MigrationMaster::on_read_started(BlockId block, JobId job) {
   if (!config_.cancel_missed_reads) return;
   // The read will be served from wherever it resolves *now*; a migration
   // that has not finished can no longer help this job.
-  auto pit = pending_index_.find(block);
-  if (pit != pending_index_.end()) {
-    auto it = pit->second;
+  PendingQueue& queue = plane_.queue();
+  auto it = queue.find(block);
+  if (it != queue.end()) {
     it->jobs.erase(job);
     if (it->jobs.empty()) {
       record_cancel({.block = block,
                      .reason = CancelReason::MissedRead,
                      .at = cluster_.simulator().now()});
-      pending_index_.erase(pit);
-      pending_.erase(it);
+      queue.erase(it);
     }
     return;
   }
@@ -557,8 +439,8 @@ std::vector<std::pair<BlockId, NodeId>> MigrationMaster::bound_migrations() cons
 
 std::vector<BlockId> MigrationMaster::pending_blocks() const {
   std::vector<BlockId> out;
-  out.reserve(pending_.size());
-  for (const auto& pm : pending_) out.push_back(pm.block);
+  out.reserve(plane_.queue().size());
+  for (const auto& pm : plane_.queue()) out.push_back(pm.block);
   return out;
 }
 
@@ -578,8 +460,7 @@ void MigrationMaster::master_failover() {
   // All master soft state dies with the process. Slave-side state (local
   // queues, in-flight migrations, buffers) survives and re-populates the
   // registry via heartbeat reports.
-  pending_.clear();
-  pending_index_.clear();
+  plane_.queue().clear();
   bound_.clear();
   // The registry lives logically in the master.
   for (NodeId id : cluster_.node_ids()) namenode_.drop_memory_replicas_on(id);

@@ -1,11 +1,12 @@
 // DYRS master — implemented "within the NameNode" (paper §IV).
 //
-// The master keeps the FIFO list of pending migrations, runs Algorithm 1
-// off the critical path to target each pending block at the replica node
-// expected to finish it soonest, and binds work to slaves only when they
-// pull for it (late binding, §III-A1). It also routes eviction commands,
-// reacts to reads (missed-read cancellation, implicit eviction), and
-// rebuilds its soft state from slave reports after a failover (§III-C1).
+// The master is the *sim backend driver* of the shared migration control
+// plane (src/core): policy decisions (pending ordering, Algorithm 1
+// targeting, binding eligibility, requeue semantics, lifecycle tracing)
+// live in core::ControlPlane; this class supplies the simulator clock and
+// event-handle timers, the namenode integration (replica lookup,
+// memory-replica registry), and owns the *bound* half of the soft state
+// (block -> node map plus the slaves' local queues).
 //
 // Baseline behaviours are configuration, not separate code paths:
 //   * Binding::LateTargeted  + cancel + serialize        -> DYRS
@@ -13,15 +14,17 @@
 //   * Binding::EagerRandom   + no-cancel + concurrent    -> Ignem
 #pragma once
 
-#include <list>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "cluster/cluster.h"
 #include "common/random.h"
 #include "common/timeseries.h"
+#include "core/binding.h"
+#include "core/control_plane.h"
+#include "core/replica_selector.h"
 #include "dfs/namenode.h"
-#include "dyrs/replica_selector.h"
 #include "dyrs/service.h"
 #include "dyrs/slave.h"
 #include "obs/metrics_registry.h"
@@ -31,14 +34,9 @@
 namespace dyrs::core {
 
 struct MasterConfig {
-  enum class Binding { LateTargeted, LateAnyReplica, EagerRandom };
+  using Binding = ::dyrs::core::Binding;
+  using Ordering = ::dyrs::core::Ordering;
   Binding binding = Binding::LateTargeted;
-  /// Order in which pending migrations are considered for binding. The
-  /// paper ships FIFO and names alternative policies as future work
-  /// (§III); SmallestJobFirst favours jobs with the least outstanding
-  /// migration work (their whole input becomes memory-resident soonest,
-  /// maximizing fully-accelerated jobs).
-  enum class Ordering { Fifo, SmallestJobFirst };
   Ordering ordering = Ordering::Fifo;
   /// Discard a block's migration once a read for it starts (§IV-A1:
   /// "discarded due to missed reads"). Ignem lacks this.
@@ -79,7 +77,7 @@ class MigrationMaster final : public MigrationService {
   // --- introspection for tests & benches -----------------------------------
   MigrationSlave& slave(NodeId id);
   const MigrationSlave& slave(NodeId id) const;
-  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t pending_count() const { return plane_.queue().size(); }
   std::size_t bound_count() const { return bound_.size(); }
   const std::vector<MigrationRecord>& records() const { return records_; }
   const std::vector<CancelRecord>& cancels() const { return cancels_; }
@@ -87,6 +85,11 @@ class MigrationMaster final : public MigrationService {
   const TimeSeries& estimate_series(NodeId id) const;
   long migrations_completed() const { return static_cast<long>(records_.size()); }
   double bytes_migrated() const { return bytes_migrated_; }
+  /// (block, node) binding decisions in bind order — the sim-vs-rt
+  /// differential test compares per-node projections of this log.
+  const std::vector<std::pair<BlockId, NodeId>>& binding_log() const {
+    return plane_.binding_log();
+  }
 
   // --- failure-handling introspection ------------------------------------
   /// True between a master failover and the first heartbeat pulse that
@@ -126,10 +129,9 @@ class MigrationMaster final : public MigrationService {
   /// A slave the master can currently exchange messages with: process and
   /// server up, no partition, and not declared dead by the namenode.
   bool reachable(NodeId id, const MigrationSlave& slave) const;
-  /// Pending entries in binding-consideration order (FIFO, or ascending
-  /// outstanding-bytes of the smallest interested job for SJF).
-  std::vector<std::list<PendingMigration>::iterator> pending_in_order();
-  void bind(std::list<PendingMigration>::iterator it, MigrationSlave& slave);
+  /// Driver half of a binding: bound-state bookkeeping and slave handoff
+  /// for a migration the control plane already selected and traced.
+  void finish_bind(BoundMigration bm, MigrationSlave& slave);
   void eager_bind_all();
   void handle_migration_complete(const MigrationRecord& record);
   void handle_evicted(NodeId node, const std::vector<BlockId>& blocks);
@@ -154,8 +156,10 @@ class MigrationMaster final : public MigrationService {
   Rng rng_;
 
   std::unordered_map<NodeId, std::unique_ptr<MigrationSlave>> slaves_;
-  std::list<PendingMigration> pending_;  // FIFO
-  std::unordered_map<BlockId, std::list<PendingMigration>::iterator> pending_index_;
+  /// Deterministic snapshot order for retarget passes; the slave set is
+  /// fixed at construction, so this is computed once, not per pass.
+  std::vector<NodeId> node_order_;
+  ControlPlane plane_;                         // pending state + policy
   std::unordered_map<BlockId, NodeId> bound_;  // bound but not yet completed
 
   std::vector<MigrationRecord> records_;

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "dfs/read_hooks.h"
-#include "dyrs/types.h"
+#include "core/types.h"
 
 namespace dyrs::core {
 

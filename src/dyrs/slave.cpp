@@ -159,13 +159,7 @@ bool MigrationSlave::start_migration(BoundMigration m) {
       cluster::IoClass::MigrationRead, size,
       [this, block](SimTime t) { finish_migration(block, t); });
   active_.emplace(block, std::move(active));
-  if (tracing()) {
-    obs_.emit(obs::TraceEvent(sim_.now(), "mig_transfer_start")
-                  .with("block", block.value())
-                  .with("node", id().value())
-                  .with("size", static_cast<std::int64_t>(size))
-                  .with("attempt", attempt));
-  }
+  emitter_.transfer_start(sim_.now(), block, id(), size, attempt);
   return true;
 }
 
@@ -202,30 +196,16 @@ void MigrationSlave::fail_migration(BlockId block) {
   active_.erase(it);
   buffers_.force_evict(block);  // drop the partially-read pages
   ++m.attempts;
-  if (m.attempts >= config_.max_migration_attempts) {
+  if (config_.retry.exhausted(m.attempts)) {
     ++permanent_failures_;
     DYRS_LOG(Debug, "slave") << "node " << id() << " giving up on block " << block << " after "
                              << m.attempts << " attempts";
-    if (tracing()) {
-      obs_.emit(obs::TraceEvent(sim_.now(), "mig_transfer_failed")
-                    .with("block", block.value())
-                    .with("node", id().value())
-                    .with("attempts", m.attempts));
-    }
+    emitter_.transfer_failed(sim_.now(), block, id(), m.attempts);
     if (callbacks_.on_failed) callbacks_.on_failed(id(), std::move(m));
   } else {
     ++retries_;
-    // Capped exponential backoff: base * 2^(attempt-1), clamped.
-    const int shift = std::min(m.attempts - 1, 20);
-    const SimDuration delay =
-        std::min(config_.retry_backoff_cap, config_.retry_backoff << shift);
-    if (tracing()) {
-      obs_.emit(obs::TraceEvent(sim_.now(), "mig_transfer_retry")
-                    .with("block", block.value())
-                    .with("node", id().value())
-                    .with("attempt", m.attempts)
-                    .with("delay_us", static_cast<std::int64_t>(delay)));
-    }
+    const SimDuration delay = config_.retry.backoff_for(m.attempts);
+    emitter_.transfer_retry(sim_.now(), block, id(), m.attempts, delay);
     Backoff b;
     b.m = std::move(m);
     b.timer = sim_.schedule_after(delay, [this, block]() { retry_now(block); });

@@ -17,10 +17,12 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/lifecycle.h"
+#include "core/retry_policy.h"
+#include "core/types.h"
 #include "dfs/datanode.h"
 #include "dyrs/buffer_manager.h"
 #include "dyrs/estimator.h"
-#include "dyrs/types.h"
 #include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -41,11 +43,9 @@ struct SlaveConfig {
 
   /// Transient-failure handling: a migration whose read hits an (injected)
   /// I/O error is retried locally with capped exponential backoff; after
-  /// `max_migration_attempts` total tries the slave reports a permanent
+  /// `retry.max_attempts` total tries the slave reports a permanent
   /// failure and the master re-targets the block at another replica.
-  int max_migration_attempts = 4;
-  SimDuration retry_backoff = milliseconds(250);   // first retry delay
-  SimDuration retry_backoff_cap = seconds(8);      // backoff ceiling
+  RetryPolicy retry;
 };
 
 class MigrationSlave {
@@ -144,7 +144,10 @@ class MigrationSlave {
   /// Transfer-phase trace events (mig_transfer_start/retry/failed) go
   /// through this context; the default no-op context disables them at the
   /// cost of one flag check per site.
-  void set_obs(const obs::ObsContext& obs) { obs_ = obs; }
+  void set_obs(const obs::ObsContext& obs) {
+    obs_ = obs;
+    emitter_ = LifecycleEmitter(obs);
+  }
 
   // --- retry statistics -------------------------------------------------
   /// Migrations currently waiting out a retry backoff.
@@ -181,6 +184,7 @@ class MigrationSlave {
   BufferManager buffers_;
 
   obs::ObsContext obs_;
+  LifecycleEmitter emitter_;
 
   std::deque<BoundMigration> queue_;
   std::unordered_map<BlockId, Active> active_;

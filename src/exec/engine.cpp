@@ -282,14 +282,49 @@ void Engine::speculation_pass() {
   }
 }
 
+Bytes Engine::shuffle_total(const Job& job) const {
+  return job.spec.shuffle_bytes >= 0
+             ? job.spec.shuffle_bytes
+             : static_cast<Bytes>(static_cast<double>(job.record.input_size) *
+                                  job.spec.selectivity);
+}
+
 void Engine::on_maps_complete(Job& job) {
   job.record.maps_done = cluster_.simulator().now();
   if (job.reduces.empty()) {
     finish_job(job);
     return;
   }
+  // The shuffle phase opens when the last map finishes: reducers fetch
+  // their shares over the NIC from here on. The span closes when the last
+  // fetch lands (on_shuffle_fetch_done).
+  const Bytes total = shuffle_total(job);
+  const Bytes share = total / static_cast<Bytes>(job.reduces.size());
+  if (share > 0) {
+    job.shuffle_fetches_remaining = static_cast<int>(job.reduces.size());
+    job.shuffle_started_at = job.record.maps_done;
+    if (tracing()) {
+      obs_.emit(obs::TraceEvent(job.shuffle_started_at, "shuffle_start")
+                    .with("job", job.id.value())
+                    .with("bytes", static_cast<std::int64_t>(total))
+                    .with("reducers", static_cast<int>(job.reduces.size())));
+    }
+  }
   job.reduces_runnable = true;
   try_schedule();
+}
+
+void Engine::on_shuffle_fetch_done(JobId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  Job& job = it->second;
+  if (job.shuffle_fetches_remaining <= 0 || --job.shuffle_fetches_remaining > 0) return;
+  if (tracing()) {
+    const SimTime now = cluster_.simulator().now();
+    obs_.emit(obs::TraceEvent(now, "shuffle_done")
+                  .with("job", id.value())
+                  .with("duration_s", to_seconds(now - job.shuffle_started_at)));
+  }
 }
 
 void Engine::run_reduce(Job& job, ReduceTask& task, NodeId node) {
@@ -302,14 +337,10 @@ void Engine::run_reduce(Job& job, ReduceTask& task, NodeId node) {
   record->started = sim.now();
 
   const JobId jid = job.id;
-  const Bytes shuffle_total =
-      job.spec.shuffle_bytes >= 0
-          ? job.spec.shuffle_bytes
-          : static_cast<Bytes>(static_cast<double>(job.record.input_size) *
-                               job.spec.selectivity);
-  const Bytes output_total = job.spec.output_bytes >= 0 ? job.spec.output_bytes : shuffle_total;
+  const Bytes shuffle = shuffle_total(job);
+  const Bytes output_total = job.spec.output_bytes >= 0 ? job.spec.output_bytes : shuffle;
   const auto reducers = static_cast<Bytes>(job.reduces.size());
-  const Bytes shuffle_share = shuffle_total / reducers;
+  const Bytes shuffle_share = shuffle / reducers;
   const Bytes output_share = output_total / reducers;
   const Rate compute_rate = job.spec.reduce_compute_rate;
   const SimDuration overhead = job.spec.task_overhead;
@@ -369,12 +400,14 @@ void Engine::run_reduce(Job& job, ReduceTask& task, NodeId node) {
     cluster_.simulator().schedule_after(compute, do_write);
   };
 
-  sim.schedule_after(overhead, [this, node, shuffle_share, record, do_compute]() {
+  sim.schedule_after(overhead, [this, jid, node, shuffle_share, record, do_compute]() {
     record->read_started = cluster_.simulator().now();
     if (shuffle_share > 0) {
       // Shuffle fetch, modeled as a fair-share flow on this node's NIC.
-      cluster_.node(node).nic().start_flow(shuffle_share,
-                                           [do_compute](SimTime) { do_compute(); });
+      cluster_.node(node).nic().start_flow(shuffle_share, [this, jid, do_compute](SimTime) {
+        on_shuffle_fetch_done(jid);
+        do_compute();
+      });
     } else {
       do_compute();
     }

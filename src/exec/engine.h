@@ -102,6 +102,10 @@ class Engine {
     int maps_remaining = 0;
     int reduces_remaining = 0;
     bool reduces_runnable = false;
+    /// Shuffle-phase span accounting: NIC fetches still in flight and when
+    /// the phase opened (maps done), for `shuffle_start`/`shuffle_done`.
+    int shuffle_fetches_remaining = 0;
+    SimTime shuffle_started_at = 0;
     std::vector<double> completed_map_durations_s;  // for speculation medians
   };
   struct Slots {
@@ -119,6 +123,9 @@ class Engine {
   void speculation_pass();
   void run_reduce(Job& job, ReduceTask& task, NodeId node);
   void on_maps_complete(Job& job);
+  void on_shuffle_fetch_done(JobId id);
+  /// Total bytes the job's reducers fetch over the network.
+  Bytes shuffle_total(const Job& job) const;
   void finish_job(Job& job);
   Job& job_state(JobId id);
   bool tracing() const { return obs_.tracing(); }

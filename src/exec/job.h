@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/units.h"
-#include "dyrs/types.h"
+#include "core/types.h"
 
 namespace dyrs::exec {
 

@@ -8,12 +8,28 @@
 
 namespace dyrs::rt {
 
-RtMaster::RtMaster(Options options) : options_(std::move(options)) {
+RtMaster::RtMaster(Options options)
+    : options_(std::move(options)),
+      plane_(core::ControlPlaneConfig{
+          .binding = core::Binding::LateTargeted,
+          .ordering = options_.ordering,
+          .target_trace = core::ControlPlaneConfig::TargetTrace::AtBind}) {
   DYRS_CHECK(!options_.slaves.empty());
   ctr_completed_ = options_.obs.counter("rt.migrations.completed");
   ctr_cancelled_ = options_.obs.counter("rt.migrations.cancelled");
+  ctr_requeued_ = options_.obs.counter("rt.migrations.requeued");
   ctr_retarget_passes_ = options_.obs.counter("rt.retarget.passes");
   ctr_pulls_ = options_.obs.counter("rt.pulls");
+  // Master-emitted lifecycle events are serialized under mu_ (tid 0); the
+  // stamper resolves the lifecycle's cycle from the per-block counter, or
+  // from the explicit override when settling an older cycle's migration.
+  plane_.set_emitter(core::LifecycleEmitter(
+      options_.obs, [this](obs::TraceEvent& e, BlockId block, int rank) {
+        const std::uint64_t cycle = stamp_cycle_ != 0 ? stamp_cycle_ : cycle_for(block);
+        e.with("lseq", rt_lseq(cycle, rank))
+            .with("tid", 0)
+            .with("tseq", static_cast<std::int64_t>(++trace_seq_));
+      }));
   for (auto slave_opts : options_.slaves) {
     // Slaves share the master's context and timestamp origin, so all trace
     // emitters agree on the epoch.
@@ -21,9 +37,14 @@ RtMaster::RtMaster(Options options) : options_(std::move(options)) {
     slave_opts.trace_epoch = epoch_;
     auto slave = std::make_unique<RtSlave>(
         slave_opts, [this](const RtMigrationDone& d) { on_complete(d); },
-        [this](NodeId node, int space) { return pull(node, space); });
+        [this](NodeId node, int space) { return pull(node, space); },
+        [this](NodeId node, RtMigration m) { on_failed(node, std::move(m)); });
+    node_order_.push_back(slave_opts.node);
     slaves_.emplace(slave_opts.node, std::move(slave));
   }
+  // The slave set is fixed for the master's lifetime: one deterministic
+  // snapshot order, computed once instead of per retarget pass.
+  std::sort(node_order_.begin(), node_order_.end());
   retargeter_ = std::jthread([this](std::stop_token st) { retarget_loop(st); });
 }
 
@@ -33,11 +54,9 @@ std::int64_t RtMaster::now_us() const {
       .count();
 }
 
-void RtMaster::emit_locked(obs::TraceEvent e, std::uint64_t cycle, int rank) {
-  e.with("lseq", rt_lseq(cycle, rank))
-      .with("tid", 0)
-      .with("tseq", static_cast<std::int64_t>(++trace_seq_));
-  options_.obs.emit(e);
+std::uint64_t RtMaster::cycle_for(BlockId block) const {
+  auto it = cycle_.find(block);
+  return it == cycle_.end() ? 1 : it->second;
 }
 
 RtMaster::~RtMaster() { shutdown(); }
@@ -62,63 +81,69 @@ RtSlave& RtMaster::slave(NodeId id) {
   return *it->second;
 }
 
+void RtMaster::enqueue_locked(JobId job, core::EvictionMode mode, BlockId block, Bytes size,
+                              const std::vector<NodeId>& replicas,
+                              const std::vector<NodeId>& avoid) {
+  // A new entry opens a new lifecycle: bump the cycle *before* the control
+  // plane emits mig_enqueue so the stamper keys it correctly. Merges join
+  // the lifecycle already open.
+  if (!plane_.queue().contains(block)) ++cycle_[block];
+  const auto r = plane_.enqueue(job, mode, block, size, replicas, avoid, now_us());
+  if (r.created) ++outstanding_;
+}
+
 void RtMaster::migrate(const std::vector<RtBlock>& blocks) {
   {
     std::lock_guard lock(mu_);
     for (const auto& b : blocks) {
-      core::PendingMigration pm;
-      pm.block = b.block;
-      pm.size = b.size;
-      pm.replicas = b.replicas;
-      pm.jobs[JobId(0)] = core::EvictionMode::Explicit;
-      pm.requested_at = now_us();
-      const std::uint64_t cycle = ++cycle_[b.block];
-      if (tracing()) {
-        std::string replicas;
-        for (NodeId n : pm.replicas) {
-          if (!replicas.empty()) replicas += ',';
-          replicas += std::to_string(n.value());
-        }
-        emit_locked(obs::TraceEvent(pm.requested_at, "mig_enqueue")
-                        .with("block", b.block.value())
-                        .with("job", 0)
-                        .with("size", static_cast<std::int64_t>(b.size))
-                        .with("replicas", std::move(replicas)),
-                    cycle, kRankEnqueue);
-      }
-      pending_.push_back(std::move(pm));
-      ++outstanding_;
+      enqueue_locked(b.job, core::EvictionMode::Explicit, b.block, b.size, b.replicas, {});
     }
+    sample_estimates_locked();
     retarget_locked();
   }
   for (auto& [id, slave] : slaves_) slave->poke();
 }
 
+void RtMaster::sample_estimates_locked() {
+  if (!tracing()) return;
+  const std::int64_t now = now_us();
+  for (NodeId id : node_order_) {
+    RtSlave& s = *slaves_.at(id);
+    obs::TraceEvent e(now, "sample");
+    e.with("name", "node" + std::to_string(id.value()) + ".dyrs.est_s_per_block")
+        .with("value", s.sec_per_byte() * static_cast<double>(s.reference_block()))
+        .with("lseq", 0)
+        .with("tid", 0)
+        .with("tseq", static_cast<std::int64_t>(++trace_seq_));
+    options_.obs.emit(e);
+  }
+}
+
 void RtMaster::retarget_locked() {
-  if (pending_.empty()) return;
+  if (plane_.queue().empty()) return;
   if (ctr_retarget_passes_ != nullptr) ctr_retarget_passes_->inc();
   std::vector<core::SlaveSnapshot> snapshots;
-  snapshots.reserve(slaves_.size());
-  for (auto& [id, slave] : slaves_) {
-    snapshots.push_back({.node = id,
-                         .sec_per_byte = slave->sec_per_byte(),
-                         .queued_bytes = slave->bound_bytes()});
+  snapshots.reserve(node_order_.size());
+  for (NodeId id : node_order_) {
+    RtSlave& s = *slaves_.at(id);
+    snapshots.push_back(
+        {.node = id, .sec_per_byte = s.sec_per_byte(), .queued_bytes = s.bound_bytes()});
   }
-  std::sort(snapshots.begin(), snapshots.end(),
-            [](const auto& a, const auto& b) { return a.node < b.node; });
-  std::vector<core::PendingMigration*> ptrs;
-  ptrs.reserve(pending_.size());
-  for (auto& pm : pending_) ptrs.push_back(&pm);
-  core::assign_targets(ptrs, snapshots);
+  plane_.retarget(snapshots, now_us());
 }
 
 void RtMaster::retarget_loop(std::stop_token st) {
+  // Stop-token-aware sleep: shutdown must not wait out the interval (an
+  // operator can set it to seconds to pin targets between passes).
+  std::mutex sleep_mu;
+  std::condition_variable_any cv;
   while (!st.stop_requested()) {
     {
       std::lock_guard lock(mu_);
       retarget_locked();
     }
-    std::this_thread::sleep_for(options_.retarget_interval);
+    std::unique_lock lock(sleep_mu);
+    cv.wait_for(lock, st, options_.retarget_interval, [] { return false; });
   }
 }
 
@@ -126,33 +151,18 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
   if (ctr_pulls_ != nullptr) ctr_pulls_->inc();
   std::vector<RtMigration> out;
   std::lock_guard lock(mu_);
-  auto it = pending_.begin();
-  while (space > 0 && it != pending_.end()) {
-    auto cur = it++;
-    if (cur->target != node) continue;
-    const std::uint64_t cycle = cycle_[cur->block];
-    if (tracing()) {
-      // The rt runtime emits `mig_target` once, for the decision that
-      // stuck, at the moment the block is handed out: intermediate
-      // retarget passes are timing-dependent and would make the event
-      // count nondeterministic. Binding happens in the same step (the
-      // pull IS the bind), so `mig_bind` shares the timestamp and its
-      // wait_us is exactly bind-time minus enqueue-time.
-      const std::int64_t now = now_us();
-      emit_locked(obs::TraceEvent(now, "mig_target")
-                      .with("block", cur->block.value())
-                      .with("node", node.value())
-                      .with("sec_per_byte", slaves_.at(node)->sec_per_byte()),
-                  cycle, kRankTarget);
-      emit_locked(obs::TraceEvent(now, "mig_bind")
-                      .with("block", cur->block.value())
-                      .with("node", node.value())
-                      .with("wait_us", now - cur->requested_at),
-                  cycle, kRankBind);
-    }
-    out.push_back({cur->block, cur->size, cycle});
-    pending_.erase(cur);
-    --space;
+  // The worker may pull before the master's constructor registered every
+  // slave; the queue is necessarily still empty then.
+  auto sit = slaves_.find(node);
+  const double spb = sit == slaves_.end() ? 0.0 : sit->second->sec_per_byte();
+  // The control plane emits `mig_target` once here, for the decision that
+  // stuck (AtBind profile): intermediate retarget passes are
+  // timing-dependent and would make the event count nondeterministic.
+  // Binding happens in the same step — the pull IS the bind — so
+  // `mig_bind`'s wait_us is exactly bind-time minus enqueue-time.
+  for (core::BoundMigration& bm : plane_.bind_for(node, space, spb, now_us())) {
+    const std::uint64_t cycle = cycle_.at(bm.block);
+    out.push_back({std::move(bm), cycle});
   }
   return out;
 }
@@ -160,35 +170,86 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
 void RtMaster::on_complete(const RtMigrationDone& done) {
   if (ctr_completed_ != nullptr) ctr_completed_->inc();
   std::lock_guard lock(mu_);
-  if (tracing()) {
-    emit_locked(obs::TraceEvent(now_us(), "mig_complete")
-                    .with("block", done.block.value())
-                    .with("node", done.node.value())
-                    .with("size", static_cast<std::int64_t>(done.size))
-                    .with("transfer_s", done.duration_s),
-                done.cycle, kRankTerminal);
-  }
+  stamp_cycle_ = done.cycle;
+  plane_.emitter().complete(now_us(), done.block, done.node, done.size, done.duration_s);
+  stamp_cycle_ = 0;
   ++completed_;
   ++per_node_[done.node];
+  for (const auto& [job, mode] : done.jobs) ++per_job_[job];
   if (--outstanding_ == 0) idle_cv_.notify_all();
+}
+
+void RtMaster::on_failed(NodeId node, RtMigration mig) {
+  bool requeued = false;
+  {
+    std::lock_guard lock(mu_);
+    stamp_cycle_ = mig.cycle;
+    plane_.emitter().abort({.block = mig.m.block,
+                            .node = node,
+                            .reason = core::CancelReason::IoError,
+                            .at = now_us()});
+    stamp_cycle_ = 0;
+    std::vector<core::BoundMigration> lost;
+    lost.push_back(std::move(mig.m));
+    const int n = plane_.requeue(
+        std::move(lost), node, nullptr,
+        [this](JobId job, core::EvictionMode mode, const core::BoundMigration& m) {
+          enqueue_locked(job, mode, m.block, m.size, m.replicas, m.avoid);
+        },
+        now_us());
+    // The failed lifecycle settled; a requeue opened a new one (net zero).
+    --outstanding_;
+    if (n > 0) {
+      requeued_ += n;
+      if (ctr_requeued_ != nullptr) ctr_requeued_->add(n);
+      drop_untargetable_locked();
+      sample_estimates_locked();
+      retarget_locked();
+      requeued = true;
+    }
+    if (outstanding_ == 0) idle_cv_.notify_all();
+  }
+  if (requeued) {
+    for (auto& [id, slave] : slaves_) slave->poke();
+  }
+}
+
+void RtMaster::drop_untargetable_locked() {
+  core::PendingQueue& queue = plane_.queue();
+  for (auto it = queue.begin(); it != queue.end();) {
+    bool targetable = false;
+    for (NodeId n : it->replicas) {
+      if (std::find(it->avoid.begin(), it->avoid.end(), n) != it->avoid.end()) continue;
+      if (slaves_.count(n) != 0) {
+        targetable = true;
+        break;
+      }
+    }
+    if (targetable) {
+      ++it;
+      continue;
+    }
+    // Every replica holder has permanently failed this block: nothing can
+    // ever bind it, and wait_idle() must not hang on it.
+    plane_.emitter().abort(
+        {.block = it->block, .reason = core::CancelReason::IoError, .at = now_us()});
+    if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
+    it = queue.erase(it);
+    --outstanding_;
+  }
 }
 
 bool RtMaster::cancel(BlockId block) {
   {
     std::lock_guard lock(mu_);
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (it->block == block) {
-        pending_.erase(it);
-        if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
-        if (tracing()) {
-          emit_locked(obs::TraceEvent(now_us(), "mig_abort")
-                          .with("block", block.value())
-                          .with("reason", core::to_string(core::CancelReason::MissedRead)),
-                      cycle_[block], kRankTerminal);
-        }
-        if (--outstanding_ == 0) idle_cv_.notify_all();
-        return true;
-      }
+    auto it = plane_.queue().find(block);
+    if (it != plane_.queue().end()) {
+      plane_.queue().erase(it);
+      if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
+      plane_.emitter().abort(
+          {.block = block, .reason = core::CancelReason::MissedRead, .at = now_us()});
+      if (--outstanding_ == 0) idle_cv_.notify_all();
+      return true;
     }
   }
   // Bound somewhere: ask each slave. Slave locks are acquired after the
@@ -197,18 +258,37 @@ bool RtMaster::cancel(BlockId block) {
     if (slave->cancel(block)) {
       if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
       std::lock_guard lock(mu_);
-      if (tracing()) {
-        emit_locked(obs::TraceEvent(now_us(), "mig_abort")
-                        .with("block", block.value())
-                        .with("node", id.value())
-                        .with("reason", core::to_string(core::CancelReason::MissedRead)),
-                    cycle_[block], kRankTerminal);
-      }
+      plane_.emitter().abort({.block = block,
+                              .node = id,
+                              .reason = core::CancelReason::MissedRead,
+                              .at = now_us()});
       if (--outstanding_ == 0) idle_cv_.notify_all();
       return true;
     }
   }
   return false;
+}
+
+void RtMaster::evict_job(JobId job) {
+  {
+    std::lock_guard lock(mu_);
+    core::PendingQueue& queue = plane_.queue();
+    for (auto it = queue.begin(); it != queue.end();) {
+      it->jobs.erase(job);
+      if (!it->jobs.empty()) {
+        ++it;
+        continue;
+      }
+      plane_.emitter().abort(
+          {.block = it->block, .reason = core::CancelReason::Superseded, .at = now_us()});
+      if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
+      it = queue.erase(it);
+      if (--outstanding_ == 0) idle_cv_.notify_all();
+    }
+  }
+  // Bound migrations keep running for their other jobs (or settle
+  // unreferenced); buffers nobody references anymore are freed.
+  for (auto& [id, slave] : slaves_) slave->drop_job(job);
 }
 
 bool RtMaster::wait_idle(std::chrono::milliseconds timeout) {
@@ -220,7 +300,7 @@ bool RtMaster::wait_idle(std::chrono::milliseconds timeout) {
 
 std::size_t RtMaster::pending() const {
   std::lock_guard lock(mu_);
-  return pending_.size();
+  return plane_.queue().size();
 }
 
 long RtMaster::completed() const {
@@ -228,9 +308,24 @@ long RtMaster::completed() const {
   return completed_;
 }
 
+long RtMaster::requeued() const {
+  std::lock_guard lock(mu_);
+  return requeued_;
+}
+
 std::unordered_map<NodeId, long> RtMaster::completed_per_node() const {
   std::lock_guard lock(mu_);
   return per_node_;
+}
+
+std::unordered_map<JobId, long> RtMaster::completed_per_job() const {
+  std::lock_guard lock(mu_);
+  return per_job_;
+}
+
+std::vector<std::pair<BlockId, NodeId>> RtMaster::binding_log() const {
+  std::lock_guard lock(mu_);
+  return plane_.binding_log();
 }
 
 }  // namespace dyrs::rt

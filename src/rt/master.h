@@ -6,18 +6,29 @@
 // single master mutex (the pending list is small; the paper measures a
 // retargeting pass over 50GB of pending migrations in under a millisecond,
 // which bench/micro_algo1 confirms for this implementation).
+//
+// The master is the *rt backend driver* of the shared migration control
+// plane (src/core): policy decisions (pending ordering, Algorithm 1
+// targeting, binding eligibility, requeue semantics, lifecycle tracing)
+// live in core::ControlPlane; this class supplies steady_clock
+// microseconds, the master mutex, worker-thread slaves, and the rt trace
+// merge key (every event is stamped with (lseq, tid, tseq) so
+// merge_thread_buffers() restores a canonical per-block order). Bound
+// state lives in the slaves' local queues.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "dyrs/replica_selector.h"
+#include "core/binding.h"
+#include "core/control_plane.h"
+#include "core/replica_selector.h"
 #include "obs/metrics_registry.h"
 #include "obs/obs_context.h"
 #include "rt/slave.h"
@@ -28,6 +39,9 @@ struct RtBlock {
   BlockId block;
   Bytes size = 0;
   std::vector<NodeId> replicas;
+  /// Requesting job; drives per-job SJF ordering, per-job completion
+  /// accounting, and evict_job().
+  JobId job = JobId(0);
 };
 
 class RtMaster {
@@ -35,6 +49,8 @@ class RtMaster {
   struct Options {
     std::vector<RtSlave::Options> slaves;
     std::chrono::milliseconds retarget_interval{5};
+    /// Pending-queue ordering for binding decisions (shared policy core).
+    core::Ordering ordering = core::Ordering::Fifo;
     /// Observability handle shared by the master and every slave. The
     /// atomic counters (rt.migrations.*, rt.retarget.passes, rt.pulls) are
     /// safe to bump from worker threads. Tracing additionally requires a
@@ -51,6 +67,8 @@ class RtMaster {
   RtMaster& operator=(const RtMaster&) = delete;
 
   /// Queues blocks for migration (thread-safe; callable from any thread).
+  /// A block already pending merges its job into the existing entry
+  /// instead of opening a second lifecycle.
   void migrate(const std::vector<RtBlock>& blocks);
 
   /// Blocks the caller until every queued migration completed or
@@ -63,11 +81,22 @@ class RtMaster {
   /// migration then settles as cancelled and never reports completion.
   bool cancel(BlockId block);
 
+  /// Drops `job` from every pending migration (cancelling entries no other
+  /// job wants) and releases its buffer references at every slave.
+  void evict_job(JobId job);
+
   RtSlave& slave(NodeId id);
   std::size_t pending() const;
   long completed() const;
   /// Completed migrations per node.
   std::unordered_map<NodeId, long> completed_per_node() const;
+  /// Completed migrations per requesting job.
+  std::unordered_map<JobId, long> completed_per_job() const;
+  /// Migrations returned to pending after a permanent slave failure.
+  long requeued() const;
+  /// (block, node) binding decisions in bind order — the sim-vs-rt
+  /// differential test compares per-node projections of this log.
+  std::vector<std::pair<BlockId, NodeId>> binding_log() const;
 
   /// Stops the retargeting thread and all slaves.
   void shutdown();
@@ -75,27 +104,44 @@ class RtMaster {
  private:
   std::vector<RtMigration> pull(NodeId node, int space);
   void on_complete(const RtMigrationDone& done);
+  /// A migration exhausted its local retry budget at `node`: abort that
+  /// lifecycle and requeue the block with the node on its avoid list.
+  void on_failed(NodeId node, RtMigration mig);
   void retarget_loop(std::stop_token st);
   void retarget_locked();
+  /// Adds (or merges) one pending migration; bumps the block's cycle and
+  /// the outstanding count only when a new entry (= new lifecycle) opens.
+  void enqueue_locked(JobId job, core::EvictionMode mode, BlockId block, Bytes size,
+                      const std::vector<NodeId>& replicas, const std::vector<NodeId>& avoid);
+  /// Emits per-node est_s_per_block samples so the trace policy oracle can
+  /// replay Algorithm 1 against rt traces. Blockless events sort ahead of
+  /// every lifecycle in the merged order.
+  void sample_estimates_locked();
+  /// Aborts pending entries whose every replica is on the avoid list —
+  /// nothing can ever bind them, and wait_idle() must not hang on them.
+  void drop_untargetable_locked();
+  std::uint64_t cycle_for(BlockId block) const;
   bool tracing() const { return options_.obs.tracing(); }
   std::int64_t now_us() const;
-  /// Appends the merge-key fields all master-emitted events share (tid 0:
-  /// master emissions are serialized under mu_) and emits. Caller holds mu_.
-  void emit_locked(obs::TraceEvent e, std::uint64_t cycle, int rank);
 
   Options options_;
   const std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
-  std::list<core::PendingMigration> pending_;
+  core::ControlPlane plane_;          // pending state + policy; under mu_
+  std::vector<NodeId> node_order_;    // deterministic snapshot order; fixed at ctor
   long outstanding_ = 0;  // queued at master + bound at slaves, not done
   long completed_ = 0;
+  long requeued_ = 0;
   std::unordered_map<NodeId, long> per_node_;
-  std::unordered_map<BlockId, std::uint64_t> cycle_;  // per-block migrate() count
-  std::uint64_t trace_seq_ = 0;                       // master tseq; under mu_
+  std::unordered_map<JobId, long> per_job_;
+  std::unordered_map<BlockId, std::uint64_t> cycle_;  // per-block lifecycle count
+  std::uint64_t stamp_cycle_ = 0;  // nonzero: cycle override for the next emission; under mu_
+  std::uint64_t trace_seq_ = 0;    // master tseq; under mu_
   std::unordered_map<NodeId, std::unique_ptr<RtSlave>> slaves_;
   obs::Counter* ctr_completed_ = nullptr;
   obs::Counter* ctr_cancelled_ = nullptr;
+  obs::Counter* ctr_requeued_ = nullptr;
   obs::Counter* ctr_retarget_passes_ = nullptr;
   obs::Counter* ctr_pulls_ = nullptr;
   std::atomic<bool> shut_down_{false};

@@ -8,20 +8,24 @@
 // first. `tid` is a logical emitter ordinal, not an OS thread id: 0 for the
 // master (whose emissions are serialized under its mutex) and node + 1 for
 // a slave's worker thread, so the ordinal is stable across runs.
+//
+// The lifecycle ranks themselves are shared with the sim backend and live
+// with the LifecycleEmitter (src/core/lifecycle.h); this header adds only
+// the rt-specific lseq encoding.
 #pragma once
 
 #include <cstdint>
 
+#include "core/lifecycle.h"
+
 namespace dyrs::rt {
 
-// Lifecycle ranks within one migration cycle. Terminal events (complete,
-// abort) share the top rank — a lifecycle has exactly one of them.
-inline constexpr int kRankEnqueue = 1;
-inline constexpr int kRankTarget = 2;
-inline constexpr int kRankBind = 3;
-inline constexpr int kRankTransfer = 4;
-inline constexpr int kRankRetry = 5;
-inline constexpr int kRankTerminal = 6;
+using core::kRankBind;
+using core::kRankEnqueue;
+using core::kRankRetry;
+using core::kRankTarget;
+using core::kRankTerminal;
+using core::kRankTransfer;
 
 inline std::int64_t rt_lseq(std::uint64_t cycle, int rank) {
   return static_cast<std::int64_t>(cycle) * 8 + rank;

@@ -1,6 +1,7 @@
 #include "rt/slave.h"
 
 #include <chrono>
+#include <utility>
 
 #include "common/check.h"
 #include "obs/trace.h"
@@ -9,7 +10,8 @@
 namespace dyrs::rt {
 
 RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
-                 std::function<std::vector<RtMigration>(NodeId, int)> pull)
+                 std::function<std::vector<RtMigration>(NodeId, int)> pull,
+                 std::function<void(NodeId, RtMigration)> on_failed)
     : options_(options),
       epoch_(options.trace_epoch == std::chrono::steady_clock::time_point{}
                  ? std::chrono::steady_clock::now()
@@ -17,10 +19,20 @@ RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on
       disk_(options.disk_bandwidth),
       on_complete_(std::move(on_complete)),
       pull_(std::move(pull)),
+      on_failed_(std::move(on_failed)),
       estimator_({.ewma_alpha = options.ewma_alpha,
                   .reference_block = options.reference_block,
                   .fallback_rate = options.disk_bandwidth,
                   .overdue_correction = true}),
+      emitter_(options_.obs,
+               [this](obs::TraceEvent& e, BlockId /*block*/, int rank) {
+                 // Worker-thread merge key: lseq from the lifecycle's cycle,
+                 // tid node+1, per-thread monotonic tseq. Only the worker
+                 // emits through this emitter, so no locking is needed.
+                 e.with("lseq", rt_lseq(emit_cycle_, rank))
+                     .with("tid", options_.node.value() + 1)
+                     .with("tseq", static_cast<std::int64_t>(++tseq_));
+               }),
       worker_([this](std::stop_token st) { worker_loop(st); }) {
   DYRS_CHECK(options_.queue_capacity >= 1);
   DYRS_CHECK(pull_ != nullptr);
@@ -49,18 +61,51 @@ void RtSlave::poke() {
 }
 
 bool RtSlave::cancel(BlockId block) {
-  std::lock_guard lock(mu_);
-  if (active_block_ == block) {
-    active_cancelled_.store(true, std::memory_order_relaxed);
-    return true;
-  }
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->block == block) {
-      queue_.erase(it);
-      return true;
+  bool found = false;
+  {
+    std::lock_guard lock(mu_);
+    if (active_block_ == block) {
+      active_cancelled_.store(true, std::memory_order_relaxed);
+      found = true;
+    } else {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->m.block == block) {
+          queue_.erase(it);
+          found = true;
+          break;
+        }
+      }
     }
   }
-  return false;
+  // A cancel can land while the worker sleeps out a retry backoff; wake it
+  // so the migration settles immediately instead of after the delay.
+  if (found) cv_.notify_all();
+  return found;
+}
+
+void RtSlave::inject_read_failures(BlockId block, int count) {
+  std::lock_guard lock(mu_);
+  injected_failures_[block] += count;
+}
+
+bool RtSlave::consume_injected_failure_locked(BlockId block) {
+  auto it = injected_failures_.find(block);
+  if (it == injected_failures_.end() || it->second <= 0) return false;
+  if (--it->second == 0) injected_failures_.erase(it);
+  return true;
+}
+
+void RtSlave::drop_job(JobId job) {
+  std::lock_guard lock(mu_);
+  for (auto& m : queue_) m.m.jobs.erase(job);
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    it->second.refs.erase(job);
+    if (it->second.refs.empty()) {
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 double RtSlave::sec_per_byte() const {
@@ -71,7 +116,7 @@ double RtSlave::sec_per_byte() const {
 Bytes RtSlave::bound_bytes() const {
   std::lock_guard lock(mu_);
   Bytes total = in_flight_bytes_;
-  for (const auto& m : queue_) total += m.size;
+  for (const auto& m : queue_) total += m.m.size;
   return total;
 }
 
@@ -83,13 +128,23 @@ std::size_t RtSlave::buffered_count() const {
 Bytes RtSlave::buffered_bytes() const {
   std::lock_guard lock(mu_);
   Bytes total = 0;
-  for (const auto& [block, buf] : buffers_) total += static_cast<Bytes>(buf.size());
+  for (const auto& [block, buf] : buffers_) total += static_cast<Bytes>(buf.bytes.size());
   return total;
 }
 
 long RtSlave::completed() const {
   std::lock_guard lock(mu_);
   return completed_;
+}
+
+long RtSlave::retries() const {
+  std::lock_guard lock(mu_);
+  return retries_;
+}
+
+long RtSlave::permanent_failures() const {
+  std::lock_guard lock(mu_);
+  return permanent_failures_;
 }
 
 void RtSlave::worker_loop(std::stop_token st) {
@@ -103,7 +158,7 @@ void RtSlave::worker_loop(std::stop_token st) {
         lock.unlock();
         auto pulled = pull_(options_.node, space);
         lock.lock();
-        for (auto& m : pulled) queue_.push_back(m);
+        for (auto& m : pulled) queue_.push_back(std::move(m));
       }
       if (queue_.empty()) {
         // Nothing to do: sleep until poked or stopped. Short timeout keeps
@@ -113,58 +168,104 @@ void RtSlave::worker_loop(std::stop_token st) {
                      [&] { return poked_ || st.stop_requested(); });
         continue;
       }
-      next = queue_.front();
+      next = std::move(queue_.front());
       queue_.pop_front();
-      in_flight_bytes_ = next.size;
-      active_block_ = next.block;
+      in_flight_bytes_ = next.m.size;
+      active_block_ = next.m.block;
       active_cancelled_.store(false, std::memory_order_relaxed);
     }
+    run_migration(std::move(next), st);
+  }
+}
 
-    if (options_.obs.tracing()) {
-      options_.obs.emit(obs::TraceEvent(now_us(), "mig_transfer_start")
-                            .with("block", next.block.value())
-                            .with("node", options_.node.value())
-                            .with("size", static_cast<std::int64_t>(next.size))
-                            .with("attempt", 1)
-                            .with("lseq", rt_lseq(next.cycle, kRankTransfer))
-                            .with("tid", options_.node.value() + 1)
-                            .with("tseq", static_cast<std::int64_t>(++tseq_)));
-    }
+void RtSlave::run_migration(RtMigration next, const std::stop_token& st) {
+  emit_cycle_ = next.cycle;
+  const BlockId block = next.m.block;
+  const Bytes size = next.m.size;
+  while (true) {
+    emitter_.transfer_start(now_us(), block, options_.node, size, next.m.attempts + 1);
 
     const auto started = std::chrono::steady_clock::now();
-    const bool finished = disk_.read(next.size, &active_cancelled_);
+    const bool finished = disk_.read(size, &active_cancelled_);
     const double duration_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
 
-    bool discarded = false;
+    bool failed = false;
     {
       std::lock_guard lock(mu_);
-      in_flight_bytes_ = 0;
-      active_block_ = BlockId::invalid();
       // The cancelled flag is re-checked even after a finished read: a
       // cancel that lands between the read completing and this lock being
       // reacquired has already returned true to the caller — the master
       // settled the migration as cancelled — so reporting a completion too
       // would settle it twice (and drive `outstanding_` negative).
       if (!finished || active_cancelled_.load(std::memory_order_relaxed)) {
-        discarded = true;  // missed read: learn nothing from it
+        in_flight_bytes_ = 0;
+        active_block_ = BlockId::invalid();
+        return;  // missed read: learn nothing from it
+      }
+      if (consume_injected_failure_locked(block)) {
+        failed = true;  // time was spent but no usable data arrived
       } else {
-        estimator_.on_complete(next.size, duration_s);
-        // "Pin" the block: allocate and fill a real buffer.
-        buffers_.emplace(next.block,
-                         std::vector<std::byte>(static_cast<std::size_t>(next.size)));
+        estimator_.on_complete(size, duration_s);
+        // "Pin" the block: allocate and fill a real buffer, retained only
+        // while some job references it.
+        if (!next.m.jobs.empty()) {
+          Buffered buf;
+          buf.bytes.resize(static_cast<std::size_t>(size));
+          buf.refs = next.m.jobs;
+          buffers_.insert_or_assign(block, std::move(buf));
+        }
         ++completed_;
+        in_flight_bytes_ = 0;
+        active_block_ = BlockId::invalid();
       }
     }
-    if (discarded) continue;
 
-    RtMigrationDone done;
-    done.block = next.block;
-    done.node = options_.node;
-    done.size = next.size;
-    done.duration_s = duration_s;
-    done.cycle = next.cycle;
-    if (on_complete_) on_complete_(done);
+    if (!failed) {
+      RtMigrationDone done;
+      done.block = block;
+      done.node = options_.node;
+      done.size = size;
+      done.duration_s = duration_s;
+      done.cycle = next.cycle;
+      done.jobs = next.m.jobs;
+      if (on_complete_) on_complete_(done);
+      return;
+    }
+
+    ++next.m.attempts;
+    if (options_.retry.exhausted(next.m.attempts)) {
+      {
+        std::lock_guard lock(mu_);
+        ++permanent_failures_;
+        in_flight_bytes_ = 0;
+        active_block_ = BlockId::invalid();
+      }
+      emitter_.transfer_failed(now_us(), block, options_.node, next.m.attempts);
+      if (on_failed_) on_failed_(options_.node, std::move(next));
+      return;
+    }
+
+    // Capped exponential backoff on the worker thread, interruptible by
+    // cancel (the migration then settles as cancelled) and by stop. The
+    // block stays "active" so cancel() finds it mid-backoff.
+    const SimDuration delay = options_.retry.backoff_for(next.m.attempts);
+    {
+      std::lock_guard lock(mu_);
+      ++retries_;
+    }
+    emitter_.transfer_retry(now_us(), block, options_.node, next.m.attempts, delay);
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(delay), [&] {
+        return st.stop_requested() || active_cancelled_.load(std::memory_order_relaxed);
+      });
+      if (st.stop_requested() || active_cancelled_.load(std::memory_order_relaxed)) {
+        in_flight_bytes_ = 0;
+        active_block_ = BlockId::invalid();
+        return;
+      }
+    }
   }
 }
 

@@ -7,12 +7,19 @@
 // queue is bounded; the master refills it through pull requests issued by
 // the worker when the queue runs low — the late-binding protocol of
 // §III-A1 with real threads and condition variables.
+//
+// Transient read failures (injected via inject_read_failures) are retried
+// in place with the shared core::RetryPolicy — capped exponential backoff
+// on the worker thread, interruptible by cancel/stop. Exhausting the
+// budget reports the migration back to the master via `on_failed`, which
+// requeues it with this node on the avoid list.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -20,6 +27,9 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "core/lifecycle.h"
+#include "core/retry_policy.h"
+#include "core/types.h"
 #include "dyrs/estimator.h"
 #include "obs/obs_context.h"
 #include "rt/throttled_disk.h"
@@ -27,8 +37,9 @@
 namespace dyrs::rt {
 
 struct RtMigration {
-  BlockId block;
-  Bytes size = 0;
+  /// The control plane's binding (jobs, replicas, avoid history, attempt
+  /// count all ride along so requeues preserve them).
+  core::BoundMigration m;
   /// Per-block migration-cycle number assigned by the master; trace events
   /// for this lifecycle derive their merge key (`lseq`) from it.
   std::uint64_t cycle = 1;
@@ -40,6 +51,8 @@ struct RtMigrationDone {
   Bytes size = 0;
   double duration_s = 0;
   std::uint64_t cycle = 1;
+  /// Jobs that referenced the migration, for per-job accounting.
+  std::map<JobId, core::EvictionMode> jobs;
 };
 
 class RtSlave {
@@ -50,6 +63,8 @@ class RtSlave {
     int queue_capacity = 2;
     double ewma_alpha = 0.3;
     Bytes reference_block = mib(8);
+    /// Local retry budget for transient read failures (shared policy core).
+    core::RetryPolicy retry;
     /// Observability handle shared with the master. Counter bumps are safe
     /// from the worker thread; tracing additionally requires a thread-safe
     /// sink (ThreadLocalBufferSink) — events are stamped with the rt merge
@@ -60,11 +75,13 @@ class RtSlave {
     std::chrono::steady_clock::time_point trace_epoch{};
   };
 
-  /// `on_complete` runs on the slave's worker thread.
+  /// `on_complete` and `on_failed` run on the slave's worker thread.
   /// `pull` is invoked (also on the worker thread) whenever there is queue
   /// space; it should return the migrations the master binds to this slave.
+  /// `on_failed` reports a migration that exhausted the retry budget.
   RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
-          std::function<std::vector<RtMigration>(NodeId, int)> pull);
+          std::function<std::vector<RtMigration>(NodeId, int)> pull,
+          std::function<void(NodeId, RtMigration)> on_failed = nullptr);
   ~RtSlave();
   RtSlave(const RtSlave&) = delete;
   RtSlave& operator=(const RtSlave&) = delete;
@@ -74,6 +91,8 @@ class RtSlave {
 
   /// Thread-safe: current migration-time estimate in sec/byte.
   double sec_per_byte() const;
+  /// Estimator reference block size (for est_s_per_block samples).
+  Bytes reference_block() const { return options_.reference_block; }
   /// Bytes bound locally (queued + in flight).
   Bytes bound_bytes() const;
 
@@ -81,20 +100,42 @@ class RtSlave {
   void poke();
 
   /// Cancels a local migration of `block` (missed read): removes it from
-  /// the queue, or interrupts it mid-read if it is the active one.
-  /// Returns true if anything was cancelled. Thread-safe.
+  /// the queue, or interrupts it mid-read or mid-backoff if it is the
+  /// active one. Returns true if anything was cancelled. Thread-safe.
   bool cancel(BlockId block);
+
+  /// Fault injection (tests): the next `count` reads of `block` complete
+  /// but yield no usable data, exercising the local retry path.
+  void inject_read_failures(BlockId block, int count);
+
+  /// Drops `job`'s references: from queued migrations (they still run for
+  /// the remaining jobs, or unreferenced if none remain) and from buffered
+  /// blocks, freeing buffers nobody references anymore. Thread-safe.
+  void drop_job(JobId job);
 
   /// Buffered blocks migrated so far (copies real bytes into real memory).
   std::size_t buffered_count() const;
   Bytes buffered_bytes() const;
   long completed() const;
+  /// Transient failures absorbed by a local retry.
+  long retries() const;
+  /// Migrations that exhausted the retry budget and were reported failed.
+  long permanent_failures() const;
 
   /// Asks the worker to stop after the current slice and joins it.
   void stop();
 
  private:
+  struct Buffered {
+    std::vector<std::byte> bytes;
+    std::map<JobId, core::EvictionMode> refs;
+  };
+
   void worker_loop(std::stop_token st);
+  /// Runs one migration to settlement: read, retry-with-backoff loop,
+  /// completion/failure/cancel. Returns on the worker thread.
+  void run_migration(RtMigration next, const std::stop_token& st);
+  bool consume_injected_failure_locked(BlockId block);
 
   std::int64_t now_us() const;
 
@@ -103,6 +144,7 @@ class RtSlave {
   ThrottledDisk disk_;
   std::function<void(const RtMigrationDone&)> on_complete_;
   std::function<std::vector<RtMigration>(NodeId, int)> pull_;
+  std::function<void(NodeId, RtMigration)> on_failed_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -111,10 +153,15 @@ class RtSlave {
   BlockId active_block_ = BlockId::invalid();
   std::atomic<bool> active_cancelled_{false};
   core::MigrationEstimator estimator_;
-  std::unordered_map<BlockId, std::vector<std::byte>> buffers_;
+  std::unordered_map<BlockId, Buffered> buffers_;
+  std::unordered_map<BlockId, int> injected_failures_;
   long completed_ = 0;
+  long retries_ = 0;
+  long permanent_failures_ = 0;
   bool poked_ = false;
-  std::uint64_t tseq_ = 0;  // trace merge-key sequence; worker thread only
+  std::uint64_t tseq_ = 0;        // trace merge-key sequence; worker thread only
+  std::uint64_t emit_cycle_ = 1;  // cycle the emitter stamps with; worker thread only
+  core::LifecycleEmitter emitter_;
 
   std::jthread worker_;  // last member: joins before the rest is destroyed
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dyrs::wl {
 
@@ -118,6 +119,7 @@ SimTime SwimWorkload::last_submission() const {
 
 std::vector<JobId> SwimWorkload::install(exec::Testbed& testbed, const exec::JobSpec& base,
                                          SimTime offset) const {
+  const obs::ObsContext obs = testbed.observability().context();
   std::vector<JobId> ids;
   ids.reserve(jobs_.size());
   for (const auto& job : jobs_) {
@@ -128,7 +130,20 @@ std::vector<JobId> SwimWorkload::install(exec::Testbed& testbed, const exec::Job
     spec.shuffle_bytes = job.shuffle;
     spec.output_bytes = job.output;
     spec.num_reducers = job.reducers;
-    ids.push_back(testbed.submit_at(spec, job.submit_at + offset));
+    const JobId id = testbed.submit_at(spec, job.submit_at + offset);
+    ids.push_back(id);
+    if (obs.tracing()) {
+      // Stamped at install time (not the future submit_at) so the trace
+      // stays time-ordered; the scheduled time rides along as a field.
+      obs.emit(obs::TraceEvent(testbed.simulator().now(), "wl_job")
+                   .with("job", id.value())
+                   .with("workload", "swim")
+                   .with("name", job.name)
+                   .with("input", static_cast<std::int64_t>(job.input))
+                   .with("shuffle", static_cast<std::int64_t>(job.shuffle))
+                   .with("reducers", job.reducers)
+                   .with("submit_at", static_cast<std::int64_t>(job.submit_at + offset)));
+    }
   }
   return ids;
 }

@@ -1,6 +1,7 @@
 #include "workloads/tpcds.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dyrs::wl {
 
@@ -105,11 +106,24 @@ void QueryRunner::submit_stage(std::size_t index) {
     submit_stage(index + 1);
   };
 
+  const SimTime now = testbed_.simulator().now();
+  const SimTime submit_at = index == 0 ? now + query_.compile_time : now;
+  JobId id;
   if (index == 0) {
     // Compile phase delays the first stage's submission.
-    testbed_.submit_at(spec, testbed_.simulator().now() + query_.compile_time);
+    id = testbed_.submit_at(spec, submit_at);
   } else {
-    testbed_.submit(spec);
+    id = testbed_.submit(spec);
+  }
+  const obs::ObsContext obs = testbed_.observability().context();
+  if (obs.tracing()) {
+    obs.emit(obs::TraceEvent(now, "wl_job")
+                 .with("job", id.value())
+                 .with("workload", "tpcds")
+                 .with("name", spec.name)
+                 .with("input", static_cast<std::int64_t>(stage_input_size_))
+                 .with("reducers", stage.reducers)
+                 .with("submit_at", static_cast<std::int64_t>(submit_at)));
   }
 }
 

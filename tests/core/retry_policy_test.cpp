@@ -1,0 +1,53 @@
+#include "core/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+
+namespace dyrs::core {
+namespace {
+
+TEST(RetryPolicy, BackoffDoublesThenHitsCap) {
+  RetryPolicy p;
+  p.backoff = milliseconds(250);
+  p.backoff_cap = seconds(8);
+  EXPECT_EQ(p.backoff_for(1), milliseconds(250));
+  EXPECT_EQ(p.backoff_for(2), milliseconds(500));
+  EXPECT_EQ(p.backoff_for(3), seconds(1));
+  EXPECT_EQ(p.backoff_for(6), seconds(8));   // 250ms * 2^5 = 8s, at the cap
+  EXPECT_EQ(p.backoff_for(7), seconds(8));   // clamped
+  EXPECT_EQ(p.backoff_for(100), seconds(8)); // huge attempt: no overflow
+}
+
+TEST(RetryPolicy, ExhaustedAtBudget) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  EXPECT_FALSE(p.exhausted(0));
+  EXPECT_FALSE(p.exhausted(2));
+  EXPECT_TRUE(p.exhausted(3));
+  EXPECT_TRUE(p.exhausted(4));
+}
+
+TEST(RetryPolicy, AvoidListAccumulatesAcrossTwoBadReplicas) {
+  // A block whose first target exhausts its budget carries that node on
+  // its avoid list through the requeue; when the second replica also goes
+  // bad, the list grows instead of ping-ponging between the two.
+  BoundMigration m;
+  m.block = BlockId(7);
+  merge_avoid(m.avoid, NodeId(0));
+  EXPECT_EQ(m.avoid, (std::vector<NodeId>{NodeId(0)}));
+  merge_avoid(m.avoid, NodeId(0));  // duplicate failure: no double entry
+  EXPECT_EQ(m.avoid.size(), 1u);
+  merge_avoid(m.avoid, NodeId(2));
+  EXPECT_EQ(m.avoid, (std::vector<NodeId>{NodeId(0), NodeId(2)}));
+
+  // Requeue merges the carried history into a fresh pending entry.
+  PendingMigration pm;
+  pm.block = m.block;
+  merge_avoid(pm.avoid, m.avoid);
+  merge_avoid(pm.avoid, NodeId(2));
+  EXPECT_EQ(pm.avoid, (std::vector<NodeId>{NodeId(0), NodeId(2)}));
+}
+
+}  // namespace
+}  // namespace dyrs::core

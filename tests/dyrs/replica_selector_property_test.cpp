@@ -5,7 +5,7 @@
 // the FIFO pass*, ties must break deterministically to the earliest entry
 // in the block's replicas list, and the whole pass must be a pure function
 // of its inputs.
-#include "dyrs/replica_selector.h"
+#include "core/replica_selector.h"
 
 #include <gtest/gtest.h>
 

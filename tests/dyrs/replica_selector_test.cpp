@@ -1,4 +1,4 @@
-#include "dyrs/replica_selector.h"
+#include "core/replica_selector.h"
 
 #include <gtest/gtest.h>
 

@@ -26,7 +26,7 @@ struct RetryFixture : ::testing::Test {
     core::MasterConfig c;
     c.slave.heartbeat_interval = seconds(1);
     c.slave.reference_block = mib(64);
-    c.slave.retry_backoff = milliseconds(250);
+    c.slave.retry.backoff = milliseconds(250);
     c.retarget_interval = milliseconds(500);
     return c;
   }

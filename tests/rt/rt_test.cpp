@@ -222,6 +222,87 @@ TEST(RtMaster, WaitIdleReturnsWhenShutdownDiscardsWork) {
   EXPECT_LT(s, 5.0);
 }
 
+TEST(RtMaster, SmallestJobFirstBindsSmallJobFirst) {
+  // Job 1 has six 1MiB blocks, job 2 a single one. Under SJF the lone
+  // block of the smaller job must be the node's first binding even though
+  // it was enqueued last (one migrate() call: the full queue is visible
+  // before the worker's first pull).
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(200))},
+                   .retarget_interval = 2ms,
+                   .ordering = core::Ordering::SmallestJobFirst});
+  std::vector<RtBlock> blocks;
+  for (int i = 0; i < 6; ++i) blocks.push_back({BlockId(i), mib(1), {NodeId(0)}, JobId(1)});
+  blocks.push_back({BlockId(100), mib(1), {NodeId(0)}, JobId(2)});
+  master.migrate(blocks);
+  ASSERT_TRUE(master.wait_idle(10s));
+  const auto log = master.binding_log();
+  ASSERT_EQ(log.size(), 7u);
+  EXPECT_EQ(log[0].first, BlockId(100));
+  EXPECT_EQ(master.completed_per_job()[JobId(2)], 1);
+  EXPECT_EQ(master.completed_per_job()[JobId(1)], 6);
+}
+
+TEST(RtMaster, RetryExhaustionRetargetsAwayFromBadReplica) {
+  // The block targets the fast node 0 first (8x bandwidth), where every
+  // read fails. After the local retry budget is exhausted the master must
+  // requeue it with node 0 on the avoid list and Algorithm 1 re-targets
+  // the surviving replica.
+  auto fast = slave_opts(0, mib_per_sec(400));
+  auto slow = slave_opts(1, mib_per_sec(50));
+  fast.retry = {.max_attempts = 3, .backoff = milliseconds(1), .backoff_cap = milliseconds(4)};
+  RtMaster master({.slaves = {fast, slow}, .retarget_interval = 2ms});
+  master.slave(NodeId(0)).inject_read_failures(BlockId(7), 3);
+  master.migrate({{BlockId(7), mib(1), {NodeId(0), NodeId(1)}, JobId(1)}});
+  ASSERT_TRUE(master.wait_idle(10s));
+  EXPECT_EQ(master.completed(), 1);
+  EXPECT_EQ(master.completed_per_node()[NodeId(1)], 1);
+  EXPECT_EQ(master.requeued(), 1);
+  EXPECT_EQ(master.slave(NodeId(0)).retries(), 2);  // attempts 1 and 2 retried locally
+  EXPECT_EQ(master.slave(NodeId(0)).permanent_failures(), 1);
+  EXPECT_EQ(master.slave(NodeId(1)).completed(), 1);
+}
+
+TEST(RtMaster, UntargetableMigrationIsDroppedNotHung) {
+  // Every replica holder failed permanently: nothing can ever bind the
+  // block, so the master must settle it (abort) instead of leaving
+  // wait_idle() to hang on an unbindable entry.
+  auto opts = slave_opts(0, mib_per_sec(400));
+  opts.retry = {.max_attempts = 2, .backoff = milliseconds(1), .backoff_cap = milliseconds(2)};
+  RtMaster master({.slaves = {opts}, .retarget_interval = 2ms});
+  master.slave(NodeId(0)).inject_read_failures(BlockId(3), 2);
+  master.migrate({{BlockId(3), mib(1), {NodeId(0)}, JobId(1)}});
+  ASSERT_TRUE(master.wait_idle(10s));
+  EXPECT_EQ(master.completed(), 0);
+  EXPECT_EQ(master.requeued(), 1);
+  EXPECT_EQ(master.pending(), 0u);
+  EXPECT_EQ(master.slave(NodeId(0)).permanent_failures(), 1);
+}
+
+TEST(RtMaster, MergesDuplicateBlockAndTracksPerJobCompletions) {
+  // Block 4 is requested by both jobs in the same batch: one lifecycle,
+  // one transfer, but both jobs' accounting and buffer references.
+  RtMaster master({.slaves = {slave_opts(0, mib_per_sec(400))}, .retarget_interval = 2ms});
+  std::vector<RtBlock> blocks = {{BlockId(0), mib(1), {NodeId(0)}, JobId(1)},
+                                 {BlockId(1), mib(1), {NodeId(0)}, JobId(1)},
+                                 {BlockId(2), mib(1), {NodeId(0)}, JobId(2)},
+                                 {BlockId(3), mib(1), {NodeId(0)}, JobId(2)},
+                                 {BlockId(4), mib(1), {NodeId(0)}, JobId(1)},
+                                 {BlockId(4), mib(1), {NodeId(0)}, JobId(2)}};
+  master.migrate(blocks);
+  ASSERT_TRUE(master.wait_idle(10s));
+  EXPECT_EQ(master.completed(), 5);  // block 4 migrated once
+  EXPECT_EQ(master.completed_per_job()[JobId(1)], 3);
+  EXPECT_EQ(master.completed_per_job()[JobId(2)], 3);
+  EXPECT_EQ(master.slave(NodeId(0)).buffered_count(), 5u);
+
+  // Evicting job 1 releases only the buffers no other job references;
+  // the shared block 4 survives until job 2 goes too.
+  master.evict_job(JobId(1));
+  EXPECT_EQ(master.slave(NodeId(0)).buffered_count(), 3u);
+  master.evict_job(JobId(2));
+  EXPECT_EQ(master.slave(NodeId(0)).buffered_count(), 0u);
+}
+
 /// Per-block `type@node` signature, the run-stable projection of a merged
 /// rt trace.
 std::map<std::int64_t, std::string> block_signatures(const std::vector<obs::TraceEvent>& events) {
