@@ -142,13 +142,19 @@ RunResult run_workload(exec::Scheme scheme, const Args& args) {
 }
 
 [[noreturn]] void trace_usage() {
-  std::cerr << "usage: dyrsctl trace FILE.jsonl [--profile sim|rt] [--strict-open] [--tail N]\n"
+  std::cerr << "usage: dyrsctl trace FILE.jsonl [--profile sim|rt|rt-faults] [--strict-open]\n"
+               "                    [--tail N] [--chronological]\n"
                "                    [--policy [--policy-margin X] [--ref-block-mib N]]\n"
                "                    [--span-seq]\n"
-               "  --profile sim|rt   invariant profile; rt skips the global time-order\n"
-               "                     rule (merged rt traces are block-grouped, default sim)\n"
+               "  --profile P        invariant profile (default sim); rt skips the global\n"
+               "                     time-order rule (merged rt traces are block-grouped);\n"
+               "                     rt-faults additionally skips live-bind (blockless fault\n"
+               "                     markers sort ahead of every lifecycle when merged)\n"
                "  --strict-open      flag lifecycles still open at end-of-trace\n"
                "  --tail N           straggler window size (default 10)\n"
+               "  --chronological    re-sort events by wall timestamp before replay; turns a\n"
+               "                     merged rt trace back into execution order so the policy\n"
+               "                     oracle sees realistic node loads (tighter margins hold)\n"
                "  --policy           replay Algorithm 1 earliest-finish targeting from\n"
                "                     sampled est probes and flag contradicting targets\n"
                "  --policy-margin X  relative slack before flagging (default 0.5)\n"
@@ -187,6 +193,7 @@ int run_trace_command(int argc, char** argv) {
   std::string path;
   bool strict_open = false;
   bool span_seq = false;
+  bool chronological = false;
   std::size_t tail_window = 10;
   obs::TraceInvariants oracle;
   for (int i = 2; i < argc; ++i) {
@@ -200,9 +207,13 @@ int run_trace_command(int argc, char** argv) {
         oracle.profile = obs::TraceInvariants::Profile::Sim;
       } else if (profile == "rt") {
         oracle.profile = obs::TraceInvariants::Profile::Rt;
+      } else if (profile == "rt-faults") {
+        oracle.profile = obs::TraceInvariants::Profile::RtFaults;
       } else {
         trace_usage();
       }
+    } else if (!std::strcmp(argv[i], "--chronological")) {
+      chronological = true;
     } else if (!std::strcmp(argv[i], "--policy")) {
       oracle.check_policy = true;
     } else if (!std::strcmp(argv[i], "--policy-margin") && i + 1 < argc) {
@@ -219,7 +230,15 @@ int run_trace_command(int argc, char** argv) {
   }
   if (path.empty()) trace_usage();
 
-  obs::TraceReader reader(obs::read_jsonl_file(path));
+  std::vector<obs::TraceEvent> events = obs::read_jsonl_file(path);
+  if (chronological) {
+    // Merged rt traces are block-grouped; re-sorting by wall timestamp
+    // (stable: equal stamps keep canonical order) restores execution order,
+    // which is what the policy oracle's load accounting assumes.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) { return a.at < b.at; });
+  }
+  obs::TraceReader reader(std::move(events));
   if (span_seq) {
     print_span_signatures(reader);
     return 0;

@@ -25,6 +25,7 @@
 #include "core/binding.h"
 #include "core/lifecycle.h"
 #include "core/pending_queue.h"
+#include "core/queue_depth.h"
 #include "core/replica_selector.h"
 #include "core/types.h"
 
@@ -40,6 +41,10 @@ struct ControlPlaneConfig {
   /// nondeterministic across runs).
   enum class TargetTrace { AtRetarget, AtBind };
   TargetTrace target_trace = TargetTrace::AtRetarget;
+  /// Slave local-queue depth (§III-B). The control plane itself never
+  /// binds more than a slave's advertised free slots; both backend drivers
+  /// derive those slots from this shared policy.
+  QueueDepthPolicy queue_depth;
 };
 
 class ControlPlane {

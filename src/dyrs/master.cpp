@@ -15,7 +15,8 @@ MigrationMaster::MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namen
       rng_(config.seed),
       plane_(ControlPlaneConfig{.binding = config.binding,
                                 .ordering = config.ordering,
-                                .target_trace = ControlPlaneConfig::TargetTrace::AtRetarget}) {
+                                .target_trace = ControlPlaneConfig::TargetTrace::AtRetarget,
+                                .queue_depth = config.slave.queue_depth}) {
   for (NodeId id : cluster_.node_ids()) {
     dfs::DataNode* dn = namenode_.datanode(id);
     MigrationSlave::Callbacks callbacks;

@@ -27,11 +27,7 @@ int MigrationSlave::queue_capacity() const {
   // block reads fit in a heartbeat at full disk speed (§III-B). At least 1.
   const SimDuration block_time =
       datanode_.node().disk().unloaded_read_time(config_.reference_block);
-  const int depth = block_time > 0
-                        ? static_cast<int>(std::ceil(static_cast<double>(config_.heartbeat_interval) /
-                                                     static_cast<double>(block_time)))
-                        : 1;
-  return std::max(1, depth) + config_.extra_queue_depth;
+  return config_.queue_depth.depth_for(config_.heartbeat_interval, block_time);
 }
 
 int MigrationSlave::free_slots() const {

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "core/lifecycle.h"
+#include "core/queue_depth.h"
 #include "core/retry_policy.h"
 #include "core/types.h"
 #include "dfs/datanode.h"
@@ -39,7 +40,9 @@ struct SlaveConfig {
   Bytes reference_block = 256 * kMiB;
   Bytes memory_limit = 0;             // cap for migrated data; 0 = node RAM
   double scavenge_threshold = 0.9;    // buffer fraction that triggers scavenge
-  int extra_queue_depth = 0;          // added to the computed depth
+  /// Local queue depth (§III-B) — shared with the rt backend via
+  /// core::ControlPlaneConfig so one knob drives both.
+  QueueDepthPolicy queue_depth;
 
   /// Transient-failure handling: a migration whose read hits an (injected)
   /// I/O error is retried locally with capped exponential backoff; after

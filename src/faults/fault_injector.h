@@ -34,39 +34,36 @@
 #include "common/random.h"
 #include "dfs/namenode.h"
 #include "faults/fault_plan.h"
+#include "faults/fault_surface.h"
 #include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace dyrs::faults {
 
-class FaultInjector {
+class FaultInjector final : public FaultSurface {
  public:
   FaultInjector(sim::Simulator& sim, cluster::Cluster& cluster, dfs::NameNode& namenode,
                 std::uint64_t seed = 1);
-  ~FaultInjector();
+  ~FaultInjector() override;
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Schedules every event of `plan` (start and end transitions) and
   /// installs the migration-read fault hooks. Call once, before running.
-  void install(const FaultPlan& plan);
-
-  /// Invoked after every applied fault transition (the invariant checker
-  /// registers itself here to check right after each fault).
-  std::function<void()> after_event;
+  void install(const FaultPlan& plan) override;
 
   /// Emits `fault` trace events (kind/node/phase start|end) alongside each
   /// transition, so trace tooling can reconstruct node-liveness windows —
   /// the live-bind invariant needs them. The default no-op context
   /// disables emission.
-  void set_obs(const obs::ObsContext& obs) { obs_ = obs; }
+  void set_obs(const obs::ObsContext& obs) override { obs_ = obs; }
 
   /// Chronological, human-readable record of applied transitions.
-  const std::vector<std::string>& trace() const { return trace_; }
+  const std::vector<std::string>& trace() const override { return trace_; }
 
-  long io_errors_injected() const { return io_errors_injected_; }
-  int events_applied() const { return static_cast<int>(trace_.size()); }
+  long io_errors_injected() const override { return io_errors_injected_; }
+  int events_applied() const override { return static_cast<int>(trace_.size()); }
 
  private:
   void apply_start(const FaultEvent& e);

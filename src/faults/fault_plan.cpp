@@ -28,6 +28,44 @@ std::string FaultEvent::describe() const {
   return os.str();
 }
 
+void FaultEvent::validate() const {
+  DYRS_CHECK_MSG(node.valid(), "fault event targets an invalid node: " << describe());
+  DYRS_CHECK_MSG(at >= 0, "fault event starts before t=0: " << describe());
+  if (kind == FaultKind::IoErrors) {
+    DYRS_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+                   "io-error rate must be within [0, 1], got " << rate);
+  }
+  if (kind == FaultKind::DiskDegradation) {
+    DYRS_CHECK_MSG(factor > 0.0 && factor <= 1.0,
+                   "degradation factor must be within (0, 1], got " << factor);
+  }
+}
+
+void RandomPlanOptions::validate() const {
+  DYRS_CHECK_MSG(num_nodes > 0, "RandomPlanOptions: num_nodes must be positive, got " << num_nodes);
+  DYRS_CHECK_MSG(start >= 0, "RandomPlanOptions: start must be >= 0, got " << start);
+  DYRS_CHECK_MSG(horizon > start, "RandomPlanOptions: horizon (" << horizon
+                                      << ") must lie after start (" << start << ")");
+  DYRS_CHECK_MSG(incidents >= 0 && io_error_windows >= 0 && degradation_windows >= 0,
+                 "RandomPlanOptions: episode counts must be >= 0");
+  DYRS_CHECK_MSG(min_down > 0 && max_down >= min_down,
+                 "RandomPlanOptions: need 0 < min_down <= max_down, got [" << min_down << ", "
+                                                                          << max_down << "]");
+  DYRS_CHECK_MSG(incident_gap >= 0, "RandomPlanOptions: incident_gap must be >= 0");
+  DYRS_CHECK_MSG(min_window > 0 && max_window >= min_window,
+                 "RandomPlanOptions: need 0 < min_window <= max_window, got ["
+                     << min_window << ", " << max_window << "]");
+  // The generator draws io-error rates from [0.05, max] and degradation
+  // factors from [min, 0.9]; knobs outside those ranges would silently
+  // produce events the event-level validation rejects.
+  DYRS_CHECK_MSG(max_io_error_rate >= 0.05 && max_io_error_rate <= 1.0,
+                 "RandomPlanOptions: max_io_error_rate must be within [0.05, 1], got "
+                     << max_io_error_rate);
+  DYRS_CHECK_MSG(min_degradation > 0.0 && min_degradation <= 0.9,
+                 "RandomPlanOptions: min_degradation must be within (0, 0.9], got "
+                     << min_degradation);
+}
+
 FaultPlan& FaultPlan::crash_process(NodeId node, SimTime at, SimTime restart_at) {
   return add({.kind = FaultKind::ProcessCrash, .node = node, .at = at, .until = restart_at});
 }
@@ -41,13 +79,11 @@ FaultPlan& FaultPlan::partition(NodeId node, SimTime at, SimTime heal_at) {
 }
 
 FaultPlan& FaultPlan::io_errors(NodeId node, SimTime from, SimTime until, double rate) {
-  DYRS_CHECK(rate >= 0.0 && rate <= 1.0);
   return add(
       {.kind = FaultKind::IoErrors, .node = node, .at = from, .until = until, .rate = rate});
 }
 
 FaultPlan& FaultPlan::degrade_disk(NodeId node, SimTime from, SimTime until, double factor) {
-  DYRS_CHECK(factor > 0.0 && factor <= 1.0);
   return add({.kind = FaultKind::DiskDegradation,
               .node = node,
               .at = from,
@@ -61,10 +97,7 @@ void FaultPlan::sort() {
 }
 
 FaultPlan FaultPlan::random(const RandomPlanOptions& opts, std::uint64_t seed) {
-  DYRS_CHECK(opts.num_nodes > 0);
-  DYRS_CHECK(opts.horizon > opts.start);
-  DYRS_CHECK(opts.min_down > 0 && opts.max_down >= opts.min_down);
-  DYRS_CHECK(opts.min_window > 0 && opts.max_window >= opts.min_window);
+  opts.validate();
   Rng rng(seed);
   FaultPlan plan;
 

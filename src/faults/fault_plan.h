@@ -40,6 +40,12 @@ struct FaultEvent {
   double factor = 1.0;  // DiskDegradation: bandwidth multiplier in (0, 1]
 
   std::string describe() const;
+
+  /// Rejects degenerate events (invalid node, negative start, `rate`
+  /// outside [0, 1], `factor` outside (0, 1]) with a clear error. Called
+  /// by every plan builder, so a bad field fails at plan-build time
+  /// instead of silently producing a plan that injects nothing.
+  void validate() const;
 };
 
 /// Knobs for `FaultPlan::random`. The generator keeps "down" incidents
@@ -60,12 +66,18 @@ struct RandomPlanOptions {
   SimDuration max_window = seconds(20);
   double max_io_error_rate = 0.5;
   double min_degradation = 0.2;
+
+  /// Rejects degenerate generator knobs (`num_nodes <= 0`, horizon not
+  /// after start, inverted window bounds, rates/factors outside their
+  /// domains) with a clear error before any event is drawn.
+  void validate() const;
 };
 
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
   FaultPlan& add(FaultEvent e) {
+    e.validate();
     events.push_back(e);
     return *this;
   }

@@ -1,0 +1,52 @@
+// FaultSurface — the backend-agnostic face of the fault-injection
+// subsystem.
+//
+// A fault driver executes a declarative FaultPlan against a live backend:
+// the sim FaultInjector schedules plan events on the simulator clock and
+// mutates the simulated cluster; the rt RtFaultInjector replays the same
+// plan against wall-clock time, real threads, and ThrottledDisk token
+// buckets. Both speak the same vocabulary — install a plan once, keep a
+// chronological human-readable transition trace, account injected
+// migration-read errors, emit `fault` trace markers, invoke an
+// `after_event` hook — so chaos harnesses and invariant checkers can
+// drive either backend through one interface.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "obs/obs_context.h"
+
+namespace dyrs::faults {
+
+class FaultSurface {
+ public:
+  virtual ~FaultSurface() = default;
+
+  /// Schedules every event of `plan` (start and end transitions) against
+  /// the backend's clock. Call once, before running the workload.
+  virtual void install(const FaultPlan& plan) = 0;
+
+  /// Emits `fault` trace events (kind/node/phase start|end) alongside each
+  /// transition, so trace tooling can reconstruct node-liveness windows.
+  /// The default no-op context disables emission.
+  virtual void set_obs(const obs::ObsContext& obs) = 0;
+
+  /// Chronological, human-readable record of applied transitions; two runs
+  /// with the same plan and seed yield identical traces.
+  virtual const std::vector<std::string>& trace() const = 0;
+
+  /// Fault transitions applied so far.
+  virtual int events_applied() const = 0;
+
+  /// Migration reads failed by an active IoErrors window so far.
+  virtual long io_errors_injected() const = 0;
+
+  /// Invoked after every applied fault transition (the invariant checker
+  /// registers itself here to check right after each fault).
+  std::function<void()> after_event;
+};
+
+}  // namespace dyrs::faults

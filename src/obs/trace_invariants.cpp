@@ -295,7 +295,10 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
       st.pending_target = node;
       if (node >= 0) pending_load[node] += static_cast<double>(st.size);
     } else if (e.type == "mig_bind") {
-      if (node >= 0 && down[node] > 0) {
+      // RtFaults: fault markers are blockless and sort ahead of every
+      // lifecycle in merged rt traces, so interval accounting cannot be
+      // replayed against per-block grouped events.
+      if (profile != Profile::RtFaults && node >= 0 && down[node] > 0) {
         violate("live-bind", i, e,
                 "bind to node " + std::to_string(node) + " inside a down-fault window");
       }

@@ -74,8 +74,14 @@ class TraceInvariants {
   /// chronological — and stamped with wall-clock times, so the global
   /// time-monotonicity rule is skipped; every per-block rule (terminal,
   /// queue-wait, per-block phase order, live-bind, memory-read) still
-  /// applies.
-  enum class Profile { Sim, Rt };
+  /// applies. RtFaults additionally skips the live-bind rule: blockless
+  /// `fault` markers sort ahead of every lifecycle in the merged order, so
+  /// down-window interval accounting is meaningless against per-block
+  /// grouped events (a bind that wall-clock-preceded the crash would read
+  /// as inside the window). Failover semantics themselves stay checked —
+  /// heartbeat-loss aborts, zombie tolerance, requeue spans are all
+  /// per-block rules.
+  enum class Profile { Sim, Rt, RtFaults };
   Profile profile = Profile::Sim;
 
   /// Cap on recorded violations (a corrupt trace can trip thousands);

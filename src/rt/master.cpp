@@ -13,13 +13,16 @@ RtMaster::RtMaster(Options options)
       plane_(core::ControlPlaneConfig{
           .binding = core::Binding::LateTargeted,
           .ordering = options_.ordering,
-          .target_trace = core::ControlPlaneConfig::TargetTrace::AtBind}) {
+          .target_trace = core::ControlPlaneConfig::TargetTrace::AtBind,
+          .queue_depth = options_.queue_depth}) {
   DYRS_CHECK(!options_.slaves.empty());
   ctr_completed_ = options_.obs.counter("rt.migrations.completed");
   ctr_cancelled_ = options_.obs.counter("rt.migrations.cancelled");
   ctr_requeued_ = options_.obs.counter("rt.migrations.requeued");
   ctr_retarget_passes_ = options_.obs.counter("rt.retarget.passes");
   ctr_pulls_ = options_.obs.counter("rt.pulls");
+  ctr_nodes_dead_ = options_.obs.counter("rt.nodes.declared_dead");
+  ctr_nodes_rejoined_ = options_.obs.counter("rt.nodes.rejoined");
   // Master-emitted lifecycle events are serialized under mu_ (tid 0); the
   // stamper resolves the lifecycle's cycle from the per-block counter, or
   // from the explicit override when settling an older cycle's migration.
@@ -30,22 +33,37 @@ RtMaster::RtMaster(Options options)
             .with("tid", 0)
             .with("tseq", static_cast<std::int64_t>(++trace_seq_));
       }));
-  for (auto slave_opts : options_.slaves) {
-    // Slaves share the master's context and timestamp origin, so all trace
-    // emitters agree on the epoch.
-    slave_opts.obs = options_.obs;
-    slave_opts.trace_epoch = epoch_;
-    auto slave = std::make_unique<RtSlave>(
-        slave_opts, [this](const RtMigrationDone& d) { on_complete(d); },
-        [this](NodeId node, int space) { return pull(node, space); },
-        [this](NodeId node, RtMigration m) { on_failed(node, std::move(m)); });
-    node_order_.push_back(slave_opts.node);
-    slaves_.emplace(slave_opts.node, std::move(slave));
+  // Each RtSlave starts its worker in its constructor, and the worker's
+  // first pull() reads `slaves_` under mu_ — so registration must hold mu_
+  // too, or a pull racing the remaining emplaces reads a rehashing map.
+  // Workers block on the lock until the whole set is registered; no slave
+  // method is called here, so the master→slave lock order is respected.
+  {
+    std::lock_guard lock(mu_);
+    for (auto slave_opts : options_.slaves) {
+      // Slaves share the master's context and timestamp origin, so all trace
+      // emitters agree on the epoch.
+      slave_opts.obs = options_.obs;
+      slave_opts.trace_epoch = epoch_;
+      // One depth knob for both backends: a slave whose options left
+      // queue_capacity 0 derives it from the shared policy (§III-B).
+      if (slave_opts.queue_capacity == 0) slave_opts.queue_depth = options_.queue_depth;
+      auto slave = std::make_unique<RtSlave>(
+          slave_opts, [this](const RtMigrationDone& d) { on_complete(d); },
+          [this](NodeId node, int space) { return pull(node, space); },
+          [this](NodeId node, RtMigration m) { on_failed(node, std::move(m)); });
+      node_order_.push_back(slave_opts.node);
+      slaves_.emplace(slave_opts.node, std::move(slave));
+    }
+    // The slave set is fixed for the master's lifetime: one deterministic
+    // snapshot order, computed once instead of per retarget pass.
+    std::sort(node_order_.begin(), node_order_.end());
+    for (NodeId id : node_order_) health_[id] = NodeState::Alive;
   }
-  // The slave set is fixed for the master's lifetime: one deterministic
-  // snapshot order, computed once instead of per retarget pass.
-  std::sort(node_order_.begin(), node_order_.end());
   retargeter_ = std::jthread([this](std::stop_token st) { retarget_loop(st); });
+  if (options_.failure_detection.enabled) {
+    monitor_ = std::jthread([this](std::stop_token st) { monitor_loop(st); });
+  }
 }
 
 std::int64_t RtMaster::now_us() const {
@@ -70,6 +88,8 @@ void RtMaster::shutdown() {
     std::lock_guard lock(mu_);
   }
   idle_cv_.notify_all();
+  monitor_.request_stop();
+  if (monitor_.joinable()) monitor_.join();
   retargeter_.request_stop();
   if (retargeter_.joinable()) retargeter_.join();
   for (auto& [id, slave] : slaves_) slave->stop();
@@ -125,11 +145,144 @@ void RtMaster::retarget_locked() {
   std::vector<core::SlaveSnapshot> snapshots;
   snapshots.reserve(node_order_.size());
   for (NodeId id : node_order_) {
+    // Declared-dead nodes leave the eligible set; Algorithm 1 only ranks
+    // survivors until their heartbeats resume (rejoin re-admits them).
+    if (node_dead_locked(id)) continue;
     RtSlave& s = *slaves_.at(id);
     snapshots.push_back(
         {.node = id, .sec_per_byte = s.sec_per_byte(), .queued_bytes = s.bound_bytes()});
   }
+  if (snapshots.empty()) return;  // every node is down: nothing to rank
   plane_.retarget(snapshots, now_us());
+}
+
+bool RtMaster::node_dead_locked(NodeId node) const {
+  auto it = health_.find(node);
+  return it != health_.end() && it->second == NodeState::Dead;
+}
+
+RtMaster::NodeState RtMaster::node_state(NodeId id) const {
+  std::lock_guard lock(mu_);
+  auto it = health_.find(id);
+  return it == health_.end() ? NodeState::Alive : it->second;
+}
+
+void RtMaster::emit_node_state_locked(NodeId node, const char* state) {
+  if (!tracing()) return;
+  obs::TraceEvent e(now_us(), "node_state");
+  e.with("node", node.value())
+      .with("state", state)
+      .with("lseq", 0)
+      .with("tid", 0)
+      .with("tseq", static_cast<std::int64_t>(++trace_seq_));
+  options_.obs.emit(e);
+}
+
+void RtMaster::declare_dead_locked(NodeId node) {
+  health_[node] = NodeState::Dead;
+  emit_node_state_locked(node, "dead");
+  if (ctr_nodes_dead_ != nullptr) ctr_nodes_dead_->inc();
+  // Reclaim what was bound there: every unsettled lifecycle aborts with
+  // heartbeat-loss and its block requeues through the control plane with
+  // the dead node on the avoid list — Algorithm 1 then re-targets the
+  // survivors. Sorted by block so the requeue order (and therefore the
+  // downstream binding order) is deterministic.
+  std::vector<BoundRec> recs;
+  for (auto it = bound_.begin(); it != bound_.end();) {
+    if (it->second.node == node) {
+      recs.push_back(std::move(it->second));
+      it = bound_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const BoundRec& a, const BoundRec& b) { return a.m.block < b.m.block; });
+  std::vector<core::BoundMigration> lost;
+  lost.reserve(recs.size());
+  for (BoundRec& rec : recs) {
+    stamp_cycle_ = rec.cycle;
+    plane_.emitter().abort({.block = rec.m.block,
+                            .node = node,
+                            .reason = core::CancelReason::HeartbeatLoss,
+                            .at = now_us()});
+    stamp_cycle_ = 0;
+    --outstanding_;  // each reclaimed lifecycle settled; requeues reopen
+    lost.push_back(std::move(rec.m));
+  }
+  const int n = plane_.requeue(
+      std::move(lost), node, nullptr,
+      [this](JobId job, core::EvictionMode mode, const core::BoundMigration& m) {
+        enqueue_locked(job, mode, m.block, m.size, m.replicas, m.avoid);
+      },
+      now_us());
+  if (n > 0) {
+    requeued_ += n;
+    if (ctr_requeued_ != nullptr) ctr_requeued_->add(n);
+  }
+  drop_untargetable_locked();
+  sample_estimates_locked();
+  retarget_locked();
+  if (outstanding_ == 0) idle_cv_.notify_all();
+}
+
+void RtMaster::check_health() {
+  const auto& fd = options_.failure_detection;
+  const std::int64_t suspect_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(fd.suspect_after).count();
+  const std::int64_t dead_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(fd.declare_dead_after).count();
+  bool poke_slaves = false;
+  {
+    std::lock_guard lock(mu_);
+    const std::int64_t now = now_us();
+    for (NodeId id : node_order_) {
+      const std::int64_t age = now - slaves_.at(id)->last_heartbeat_us();
+      NodeState& state = health_[id];
+      switch (state) {
+        case NodeState::Alive:
+        case NodeState::Suspect:
+          if (age >= dead_us) {
+            declare_dead_locked(id);
+            poke_slaves = true;  // survivors should pull the requeued work
+          } else if (age >= suspect_us) {
+            if (state != NodeState::Suspect) {
+              state = NodeState::Suspect;
+              emit_node_state_locked(id, "suspect");
+            }
+          } else if (state != NodeState::Alive) {
+            state = NodeState::Alive;
+            emit_node_state_locked(id, "alive");
+          }
+          break;
+        case NodeState::Dead:
+          // Rejoin: heartbeats resumed (partition healed, process
+          // restarted) — re-admit the node to the eligible set.
+          if (age < suspect_us) {
+            state = NodeState::Alive;
+            emit_node_state_locked(id, "alive");
+            if (ctr_nodes_rejoined_ != nullptr) ctr_nodes_rejoined_->inc();
+            retarget_locked();
+            poke_slaves = true;
+          }
+          break;
+      }
+    }
+  }
+  // Slave locks only after the master lock is released (fixed lock order).
+  if (poke_slaves) {
+    for (auto& [id, slave] : slaves_) slave->poke();
+  }
+}
+
+void RtMaster::monitor_loop(std::stop_token st) {
+  std::mutex sleep_mu;
+  std::condition_variable_any cv;
+  while (!st.stop_requested()) {
+    check_health();
+    std::unique_lock lock(sleep_mu);
+    cv.wait_for(lock, st, options_.failure_detection.monitor_interval, [] { return false; });
+  }
 }
 
 void RtMaster::retarget_loop(std::stop_token st) {
@@ -151,6 +304,10 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
   if (ctr_pulls_ != nullptr) ctr_pulls_->inc();
   std::vector<RtMigration> out;
   std::lock_guard lock(mu_);
+  // A declared-dead node gets nothing: its bound work was reclaimed, and a
+  // zombie worker (partitioned, not crashed) must not double-bind blocks.
+  // Rejoin re-admits it before the next pull can succeed.
+  if (node_dead_locked(node)) return out;
   // The worker may pull before the master's constructor registered every
   // slave; the queue is necessarily still empty then.
   auto sit = slaves_.find(node);
@@ -162,14 +319,30 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
   // `mig_bind`'s wait_us is exactly bind-time minus enqueue-time.
   for (core::BoundMigration& bm : plane_.bind_for(node, space, spb, now_us())) {
     const std::uint64_t cycle = cycle_.at(bm.block);
+    // Register the binding so the failure detector can reclaim it if this
+    // node goes silent before settling it.
+    bound_[bm.block] = BoundRec{bm, node, cycle};
     out.push_back({std::move(bm), cycle});
   }
   return out;
 }
 
+bool RtMaster::settle_bound_locked(BlockId block, NodeId node, std::uint64_t cycle) {
+  auto it = bound_.find(block);
+  if (it == bound_.end() || it->second.node != node || it->second.cycle != cycle) {
+    // Zombie report: this binding was already reclaimed (declared-dead
+    // requeue) — the lifecycle settled elsewhere, so the late completion
+    // or failure from the silent node must be dropped, not double-counted.
+    return false;
+  }
+  bound_.erase(it);
+  return true;
+}
+
 void RtMaster::on_complete(const RtMigrationDone& done) {
-  if (ctr_completed_ != nullptr) ctr_completed_->inc();
   std::lock_guard lock(mu_);
+  if (!settle_bound_locked(done.block, done.node, done.cycle)) return;
+  if (ctr_completed_ != nullptr) ctr_completed_->inc();
   stamp_cycle_ = done.cycle;
   plane_.emitter().complete(now_us(), done.block, done.node, done.size, done.duration_s);
   stamp_cycle_ = 0;
@@ -183,6 +356,7 @@ void RtMaster::on_failed(NodeId node, RtMigration mig) {
   bool requeued = false;
   {
     std::lock_guard lock(mu_);
+    if (!settle_bound_locked(mig.m.block, node, mig.cycle)) return;
     stamp_cycle_ = mig.cycle;
     plane_.emitter().abort({.block = mig.m.block,
                             .node = node,
@@ -258,6 +432,8 @@ bool RtMaster::cancel(BlockId block) {
     if (slave->cancel(block)) {
       if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
       std::lock_guard lock(mu_);
+      auto it = bound_.find(block);
+      if (it != bound_.end() && it->second.node == id) bound_.erase(it);
       plane_.emitter().abort({.block = block,
                               .node = id,
                               .reason = core::CancelReason::MissedRead,

@@ -46,11 +46,36 @@ struct RtBlock {
 
 class RtMaster {
  public:
+  /// Per-node health as seen by the failure detector: heartbeat fresh
+  /// (Alive), stale past `suspect_after` (Suspect — still eligible, the
+  /// grace period for a slow disk slice), stale past `declare_dead_after`
+  /// (Dead — bound work reclaimed, node excluded from targeting until its
+  /// heartbeats resume).
+  enum class NodeState { Alive, Suspect, Dead };
+
   struct Options {
     std::vector<RtSlave::Options> slaves;
     std::chrono::milliseconds retarget_interval{5};
     /// Pending-queue ordering for binding decisions (shared policy core).
     core::Ordering ordering = core::Ordering::Fifo;
+    /// Slave queue-depth policy (§III-B), forwarded to every slave whose
+    /// options left `queue_capacity` 0 — the same knob the sim backend
+    /// reads from its ControlPlaneConfig.
+    core::QueueDepthPolicy queue_depth;
+    /// Master-side failure detection. Slaves publish wall-clock heartbeats
+    /// (every worker-loop iteration and every disk slice); when enabled, a
+    /// monitor thread applies a timeout -> suspicion -> declared-dead state
+    /// machine over heartbeat age. Declaring a node dead aborts its bound-
+    /// but-incomplete lifecycles (heartbeat-loss) and requeues the blocks
+    /// through the control plane with the node on the avoid list; a node
+    /// whose heartbeats resume rejoins the retargeter's eligible set.
+    struct FailureDetection {
+      bool enabled = false;
+      std::chrono::milliseconds monitor_interval{5};
+      std::chrono::milliseconds suspect_after{500};
+      std::chrono::milliseconds declare_dead_after{1500};
+    };
+    FailureDetection failure_detection;
     /// Observability handle shared by the master and every slave. The
     /// atomic counters (rt.migrations.*, rt.retarget.passes, rt.pulls) are
     /// safe to bump from worker threads. Tracing additionally requires a
@@ -86,6 +111,11 @@ class RtMaster {
   void evict_job(JobId job);
 
   RtSlave& slave(NodeId id);
+  /// Fixed slave set in the deterministic snapshot order.
+  const std::vector<NodeId>& nodes() const { return node_order_; }
+  /// Current failure-detector classification (Alive when detection is
+  /// disabled — the state machine never runs).
+  NodeState node_state(NodeId id) const;
   std::size_t pending() const;
   long completed() const;
   /// Completed migrations per node.
@@ -98,7 +128,11 @@ class RtMaster {
   /// differential test compares per-node projections of this log.
   std::vector<std::pair<BlockId, NodeId>> binding_log() const;
 
-  /// Stops the retargeting thread and all slaves.
+  /// Wall-clock microseconds since the master's trace epoch — the
+  /// timestamp lane every emitter (slaves, fault injector) shares.
+  std::int64_t now_us() const;
+
+  /// Stops the monitor, the retargeting thread and all slaves.
   void shutdown();
 
  private:
@@ -109,6 +143,19 @@ class RtMaster {
   void on_failed(NodeId node, RtMigration mig);
   void retarget_loop(std::stop_token st);
   void retarget_locked();
+  /// One failure-detector pass over heartbeat ages (monitor thread).
+  void check_health();
+  void monitor_loop(std::stop_token st);
+  /// Declares `node` dead: aborts every lifecycle bound there with
+  /// heartbeat-loss and requeues the blocks, dead node on the avoid list.
+  void declare_dead_locked(NodeId node);
+  /// A settled binding (complete / failed / cancelled) leaves the bound
+  /// registry; reports whose (node, cycle) no longer match the registry
+  /// are zombies from a reclaimed binding and must be ignored.
+  bool settle_bound_locked(BlockId block, NodeId node, std::uint64_t cycle);
+  bool node_dead_locked(NodeId node) const;
+  /// `node_state` marker on the master lane (blockless: lseq 0, tid 0).
+  void emit_node_state_locked(NodeId node, const char* state);
   /// Adds (or merges) one pending migration; bumps the block's cycle and
   /// the outstanding count only when a new entry (= new lifecycle) opens.
   void enqueue_locked(JobId job, core::EvictionMode mode, BlockId block, Bytes size,
@@ -122,7 +169,6 @@ class RtMaster {
   void drop_untargetable_locked();
   std::uint64_t cycle_for(BlockId block) const;
   bool tracing() const { return options_.obs.tracing(); }
-  std::int64_t now_us() const;
 
   Options options_;
   const std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
@@ -139,13 +185,27 @@ class RtMaster {
   std::uint64_t stamp_cycle_ = 0;  // nonzero: cycle override for the next emission; under mu_
   std::uint64_t trace_seq_ = 0;    // master tseq; under mu_
   std::unordered_map<NodeId, std::unique_ptr<RtSlave>> slaves_;
+  /// Failure-detector state per node; all Alive when detection is off.
+  std::unordered_map<NodeId, NodeState> health_;  // under mu_
+  /// Registry of bound-but-unsettled migrations: which (node, cycle) each
+  /// block is out at. The failure detector reclaims from it; settlement
+  /// reports that no longer match it are zombies and are dropped.
+  struct BoundRec {
+    core::BoundMigration m;
+    NodeId node;
+    std::uint64_t cycle = 1;
+  };
+  std::unordered_map<BlockId, BoundRec> bound_;  // under mu_
   obs::Counter* ctr_completed_ = nullptr;
   obs::Counter* ctr_cancelled_ = nullptr;
   obs::Counter* ctr_requeued_ = nullptr;
   obs::Counter* ctr_retarget_passes_ = nullptr;
   obs::Counter* ctr_pulls_ = nullptr;
+  obs::Counter* ctr_nodes_dead_ = nullptr;
+  obs::Counter* ctr_nodes_rejoined_ = nullptr;
   std::atomic<bool> shut_down_{false};
   std::jthread retargeter_;
+  std::jthread monitor_;  // running only when failure detection is enabled
 };
 
 }  // namespace dyrs::rt

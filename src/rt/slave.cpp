@@ -9,20 +9,34 @@
 
 namespace dyrs::rt {
 
+RtSlave::Options RtSlave::resolve(Options options) {
+  if (options.queue_capacity == 0) {
+    // §III-B depth: block reads per heartbeat at the unloaded disk rate —
+    // the same heuristic the sim slave applies, via the shared policy.
+    const auto heartbeat = std::chrono::duration_cast<std::chrono::microseconds>(
+        options.heartbeat_interval);
+    const auto block_time = static_cast<SimDuration>(
+        static_cast<double>(options.reference_block) / options.disk_bandwidth * 1e6);
+    options.queue_capacity =
+        options.queue_depth.depth_for(static_cast<SimDuration>(heartbeat.count()), block_time);
+  }
+  return options;
+}
+
 RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
                  std::function<std::vector<RtMigration>(NodeId, int)> pull,
                  std::function<void(NodeId, RtMigration)> on_failed)
-    : options_(options),
-      epoch_(options.trace_epoch == std::chrono::steady_clock::time_point{}
+    : options_(resolve(std::move(options))),
+      epoch_(options_.trace_epoch == std::chrono::steady_clock::time_point{}
                  ? std::chrono::steady_clock::now()
-                 : options.trace_epoch),
-      disk_(options.disk_bandwidth),
+                 : options_.trace_epoch),
+      disk_(options_.disk_bandwidth),
       on_complete_(std::move(on_complete)),
       pull_(std::move(pull)),
       on_failed_(std::move(on_failed)),
-      estimator_({.ewma_alpha = options.ewma_alpha,
-                  .reference_block = options.reference_block,
-                  .fallback_rate = options.disk_bandwidth,
+      estimator_({.ewma_alpha = options_.ewma_alpha,
+                  .reference_block = options_.reference_block,
+                  .fallback_rate = options_.disk_bandwidth,
                   .overdue_correction = true}),
       emitter_(options_.obs,
                [this](obs::TraceEvent& e, BlockId /*block*/, int rank) {
@@ -36,6 +50,7 @@ RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on
       worker_([this](std::stop_token st) { worker_loop(st); }) {
   DYRS_CHECK(options_.queue_capacity >= 1);
   DYRS_CHECK(pull_ != nullptr);
+  beat();
 }
 
 RtSlave::~RtSlave() { stop(); }
@@ -86,6 +101,72 @@ bool RtSlave::cancel(BlockId block) {
 void RtSlave::inject_read_failures(BlockId block, int count) {
   std::lock_guard lock(mu_);
   injected_failures_[block] += count;
+}
+
+void RtSlave::set_read_fault_hook(std::function<bool(BlockId)> hook) {
+  std::lock_guard lock(mu_);
+  read_fault_hook_ = std::move(hook);
+}
+
+void RtSlave::beat() {
+  if (!partitioned_.load(std::memory_order_relaxed)) {
+    last_beat_us_.store(now_us(), std::memory_order_relaxed);
+  }
+}
+
+void RtSlave::set_partitioned(bool on) {
+  partitioned_.store(on, std::memory_order_relaxed);
+  // Healing publishes a beat immediately so the master re-admits the node
+  // without waiting for the worker's next loop iteration.
+  if (!on) last_beat_us_.store(now_us(), std::memory_order_relaxed);
+}
+
+bool RtSlave::running() const {
+  std::lock_guard lock(mu_);
+  return !crashed_;
+}
+
+void RtSlave::crash() {
+  {
+    std::lock_guard lock(mu_);
+    if (crashed_) return;
+    crashed_ = true;
+    // Interrupt the active read under the same lock that guards the
+    // worker's pop (which resets the flag): either the worker already
+    // popped — the store lands after its reset and cancels the read — or
+    // it has not, and it will see `crashed_` before starting anything.
+    active_cancelled_.store(true, std::memory_order_relaxed);
+  }
+  worker_.request_stop();
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // The process is gone: local queue, buffers and injected faults die with
+  // it. Nothing is reported back — reclaiming what the master bound here
+  // is the failure detector's job, exactly as with a real machine.
+  std::lock_guard lock(mu_);
+  queue_.clear();
+  buffers_.clear();
+  injected_failures_.clear();
+  in_flight_bytes_ = 0;
+  active_block_ = BlockId::invalid();
+}
+
+void RtSlave::restart() {
+  {
+    std::lock_guard lock(mu_);
+    if (!crashed_) return;
+    crashed_ = false;
+    // A restarted daemon has no history: estimate from the unloaded-disk
+    // fallback until migrations complete again.
+    estimator_ = core::MigrationEstimator({.ewma_alpha = options_.ewma_alpha,
+                                           .reference_block = options_.reference_block,
+                                           .fallback_rate = options_.disk_bandwidth,
+                                           .overdue_correction = true});
+    poked_ = false;
+  }
+  active_cancelled_.store(false, std::memory_order_relaxed);
+  beat();
+  worker_ = std::jthread([this](std::stop_token st) { worker_loop(st); });
 }
 
 bool RtSlave::consume_injected_failure_locked(BlockId block) {
@@ -149,15 +230,18 @@ long RtSlave::permanent_failures() const {
 
 void RtSlave::worker_loop(std::stop_token st) {
   while (!st.stop_requested()) {
+    beat();
     RtMigration next{};
     {
       std::unique_lock lock(mu_);
+      if (crashed_) return;
       // Refill the local queue from the master while there is space.
       const int space = options_.queue_capacity - static_cast<int>(queue_.size());
       if (space > 0) {
         lock.unlock();
         auto pulled = pull_(options_.node, space);
         lock.lock();
+        if (crashed_) return;
         for (auto& m : pulled) queue_.push_back(std::move(m));
       }
       if (queue_.empty()) {
@@ -186,7 +270,8 @@ void RtSlave::run_migration(RtMigration next, const std::stop_token& st) {
     emitter_.transfer_start(now_us(), block, options_.node, size, next.m.attempts + 1);
 
     const auto started = std::chrono::steady_clock::now();
-    const bool finished = disk_.read(size, &active_cancelled_);
+    // Beat every disk slice: a long read must not look like a dead node.
+    const bool finished = disk_.read(size, &active_cancelled_, [this] { beat(); });
     const double duration_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
 
@@ -203,7 +288,8 @@ void RtSlave::run_migration(RtMigration next, const std::stop_token& st) {
         active_block_ = BlockId::invalid();
         return;  // missed read: learn nothing from it
       }
-      if (consume_injected_failure_locked(block)) {
+      if (consume_injected_failure_locked(block) ||
+          (read_fault_hook_ && read_fault_hook_(block))) {
         failed = true;  // time was spent but no usable data arrived
       } else {
         estimator_.on_complete(size, duration_s);

@@ -8,15 +8,24 @@
 // the worker when the queue runs low — the late-binding protocol of
 // §III-A1 with real threads and condition variables.
 //
-// Transient read failures (injected via inject_read_failures) are retried
-// in place with the shared core::RetryPolicy — capped exponential backoff
-// on the worker thread, interruptible by cancel/stop. Exhausting the
-// budget reports the migration back to the master via `on_failed`, which
-// requeues it with this node on the avoid list.
+// Transient read failures (injected via inject_read_failures or a
+// probabilistic read-fault hook) are retried in place with the shared
+// core::RetryPolicy — capped exponential backoff on the worker thread,
+// interruptible by cancel/stop. Exhausting the budget reports the
+// migration back to the master via `on_failed`, which requeues it with
+// this node on the avoid list.
+//
+// The slave also exposes the rt failure surface: the worker publishes a
+// wall-clock heartbeat every loop iteration and every disk slice;
+// partitions silence it, crash() tears the worker down abandoning
+// in-flight work, and restart() brings a fresh daemon back. The master's
+// failure detector turns silent heartbeats into declared-dead reclaims.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -28,6 +37,7 @@
 
 #include "common/ids.h"
 #include "core/lifecycle.h"
+#include "core/queue_depth.h"
 #include "core/retry_policy.h"
 #include "core/types.h"
 #include "dyrs/estimator.h"
@@ -60,7 +70,16 @@ class RtSlave {
   struct Options {
     NodeId node;
     Rate disk_bandwidth = mib_per_sec(100);
-    int queue_capacity = 2;
+    /// Local queue depth. 0 (the default) derives it from `queue_depth`,
+    /// `heartbeat_interval` and the unloaded reference-block read time —
+    /// the same §III-B heuristic the sim slave applies.
+    int queue_capacity = 0;
+    /// Shared depth policy, forwarded by RtMaster from its
+    /// ControlPlaneConfig when `queue_capacity` is 0.
+    core::QueueDepthPolicy queue_depth;
+    /// How often the worker publishes a wall-clock heartbeat (also the
+    /// pull cadence the derived queue depth assumes).
+    std::chrono::milliseconds heartbeat_interval{25};
     double ewma_alpha = 0.3;
     Bytes reference_block = mib(8);
     /// Local retry budget for transient read failures (shared policy core).
@@ -108,6 +127,39 @@ class RtSlave {
   /// but yield no usable data, exercising the local retry path.
   void inject_read_failures(BlockId block, int count);
 
+  /// Probabilistic read-fault hook (RtFaultInjector): consulted after
+  /// every finished read; returning true fails the read as if the device
+  /// surfaced an I/O error. Replaces ad-hoc per-block injection for
+  /// window-based fault plans. Thread-safe; pass nullptr to clear.
+  void set_read_fault_hook(std::function<bool(BlockId)> hook);
+
+  // --- failure surface (driven by RtFaultInjector / RtMaster) -----------
+  /// Wall-clock microseconds (on the shared trace epoch) of the last
+  /// published heartbeat. The worker beats every loop iteration and every
+  /// disk slice; a partitioned or crashed slave goes silent.
+  std::int64_t last_heartbeat_us() const {
+    return last_beat_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Heartbeat partition: the daemon keeps working but its heartbeats no
+  /// longer reach the master. Healing publishes a beat immediately.
+  void set_partitioned(bool on);
+  bool partitioned() const { return partitioned_.load(std::memory_order_relaxed); }
+
+  /// Process crash: tears the worker thread down, abandoning in-flight
+  /// work without reporting it (queued migrations, buffers and injected
+  /// faults die with the process). The master's failure detector is
+  /// responsible for reclaiming what was bound here. Idempotent.
+  void crash();
+
+  /// Restarts a crashed daemon: fresh worker thread, estimator reset to
+  /// the unloaded-disk fallback (a restarted process has no history), and
+  /// an immediate heartbeat so the master re-admits the node.
+  void restart();
+
+  /// False between crash() and restart().
+  bool running() const;
+
   /// Drops `job`'s references: from queued migrations (they still run for
   /// the remaining jobs, or unreferenced if none remain) and from buffered
   /// blocks, freeing buffers nobody references anymore. Thread-safe.
@@ -131,11 +183,17 @@ class RtSlave {
     std::map<JobId, core::EvictionMode> refs;
   };
 
+  /// Applies the derived queue capacity (§III-B) when the caller left it
+  /// 0 — resolved before the worker starts, so no synchronization needed.
+  static Options resolve(Options options);
+
   void worker_loop(std::stop_token st);
   /// Runs one migration to settlement: read, retry-with-backoff loop,
   /// completion/failure/cancel. Returns on the worker thread.
   void run_migration(RtMigration next, const std::stop_token& st);
   bool consume_injected_failure_locked(BlockId block);
+  /// Publishes a heartbeat unless partitioned.
+  void beat();
 
   std::int64_t now_us() const;
 
@@ -155,6 +213,10 @@ class RtSlave {
   core::MigrationEstimator estimator_;
   std::unordered_map<BlockId, Buffered> buffers_;
   std::unordered_map<BlockId, int> injected_failures_;
+  std::function<bool(BlockId)> read_fault_hook_;  // under mu_
+  bool crashed_ = false;                          // under mu_
+  std::atomic<bool> partitioned_{false};
+  std::atomic<std::int64_t> last_beat_us_{0};
   long completed_ = 0;
   long retries_ = 0;
   long permanent_failures_ = 0;

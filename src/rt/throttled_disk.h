@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <thread>
 
 #include "common/check.h"
@@ -36,13 +37,17 @@ class ThrottledDisk {
   }
 
   /// Blocks the caller for bytes/bandwidth seconds, sliced so mid-read
-  /// bandwidth changes and cancellation take effect promptly.
+  /// bandwidth changes and cancellation take effect promptly. `on_slice`
+  /// (when set) runs once per slice — the rt slave publishes its heartbeat
+  /// there, so a long read does not read as a silent node.
   /// Returns false if `cancelled` became true before the read finished.
-  bool read(Bytes bytes, const std::atomic<bool>* cancelled = nullptr) {
+  bool read(Bytes bytes, const std::atomic<bool>* cancelled = nullptr,
+            const std::function<void()>& on_slice = nullptr) {
     DYRS_CHECK(bytes > 0);
     double remaining = static_cast<double>(bytes);
     while (remaining > 0) {
       if (cancelled && cancelled->load(std::memory_order_relaxed)) return false;
+      if (on_slice) on_slice();
       const double rate = bandwidth_.load(std::memory_order_relaxed);
       // Slice: at most 1ms of work per sleep so rate changes bite quickly.
       const double slice_bytes = std::min(remaining, rate / 1000.0);

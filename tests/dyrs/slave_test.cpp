@@ -110,7 +110,7 @@ TEST_F(SlaveFixture, QueueCapacityFromHeartbeatAndBlockTime) {
 TEST_F(SlaveFixture, FreeSlotsShrinkWithQueue) {
   SlaveConfig config;
   config.reference_block = mib(64);
-  config.extra_queue_depth = 2;  // capacity 3
+  config.queue_depth.extra_depth = 2;  // capacity 3
   MigrationSlave s(dfs.sim, *dfs.datanodes[1], config, {});
   EXPECT_EQ(s.free_slots(), 3);
   s.enqueue(bound(file->blocks[0]));  // starts immediately -> in flight

@@ -1,0 +1,149 @@
+// Property tests for the seeded random plan generator and the plan-build
+// validation layer: every generated plan must satisfy the documented
+// structural guarantees (non-overlapping down incidents separated by the
+// incident gap, windows inside the horizon, rates and factors in their
+// domains) and be bit-identical for the same (options, seed).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "faults/fault_plan.h"
+
+namespace dyrs::faults {
+namespace {
+
+bool is_down_incident(const FaultEvent& e) {
+  return e.kind == FaultKind::ProcessCrash || e.kind == FaultKind::ServerDeath ||
+         e.kind == FaultKind::Partition;
+}
+
+std::string flatten(const FaultPlan& plan) {
+  std::string out;
+  for (const FaultEvent& e : plan.events) out += e.describe() + "\n";
+  return out;
+}
+
+RandomPlanOptions small_options() {
+  RandomPlanOptions opts;
+  opts.num_nodes = 6;
+  opts.start = seconds(1);
+  opts.horizon = seconds(90);
+  opts.incidents = 5;
+  opts.io_error_windows = 4;
+  opts.degradation_windows = 3;
+  opts.min_down = seconds(2);
+  opts.max_down = seconds(8);
+  opts.incident_gap = seconds(5);
+  opts.min_window = seconds(3);
+  opts.max_window = seconds(10);
+  return opts;
+}
+
+TEST(FaultPlanProperty, DownIncidentsAreDisjointAndGapSeparated) {
+  const RandomPlanOptions opts = small_options();
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const FaultPlan plan = FaultPlan::random(opts, seed);
+    std::vector<FaultEvent> downs;
+    for (const FaultEvent& e : plan.events) {
+      if (is_down_incident(e)) downs.push_back(e);
+    }
+    // Plan is sorted by start; incidents are generated sequentially, so
+    // each must begin at least incident_gap after the previous one ended.
+    for (std::size_t i = 1; i < downs.size(); ++i) {
+      EXPECT_GE(downs[i].at, downs[i - 1].until + opts.incident_gap)
+          << "seed " << seed << ": " << downs[i].describe() << " overlaps recovery of "
+          << downs[i - 1].describe();
+    }
+  }
+}
+
+TEST(FaultPlanProperty, EventsStayWithinHorizonAndDomains) {
+  const RandomPlanOptions opts = small_options();
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const FaultPlan plan = FaultPlan::random(opts, seed);
+    for (const FaultEvent& e : plan.events) {
+      EXPECT_GE(e.at, opts.start) << e.describe();
+      EXPECT_LT(e.at, opts.horizon) << e.describe();
+      EXPECT_GT(e.until, e.at) << e.describe();
+      EXPECT_GE(e.node.value(), 0) << e.describe();
+      EXPECT_LT(e.node.value(), opts.num_nodes) << e.describe();
+      if (is_down_incident(e)) {
+        EXPECT_LT(e.until, opts.horizon) << e.describe();
+        EXPECT_GE(e.until - e.at, opts.min_down) << e.describe();
+        EXPECT_LE(e.until - e.at, opts.max_down) << e.describe();
+      } else {
+        EXPECT_LE(e.until, opts.horizon) << e.describe();
+      }
+      if (e.kind == FaultKind::IoErrors) {
+        EXPECT_GE(e.rate, 0.05) << e.describe();
+        EXPECT_LE(e.rate, opts.max_io_error_rate) << e.describe();
+      }
+      if (e.kind == FaultKind::DiskDegradation) {
+        EXPECT_GE(e.factor, opts.min_degradation) << e.describe();
+        EXPECT_LE(e.factor, 0.9) << e.describe();
+      }
+    }
+  }
+}
+
+TEST(FaultPlanProperty, SameSeedIsBitIdenticalDifferentSeedDiffers) {
+  const RandomPlanOptions opts = small_options();
+  bool any_difference = false;
+  std::string prev;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::string a = flatten(FaultPlan::random(opts, seed));
+    const std::string b = flatten(FaultPlan::random(opts, seed));
+    EXPECT_EQ(a, b) << "seed " << seed << " is not reproducible";
+    if (seed > 1 && a != prev) any_difference = true;
+    prev = a;
+  }
+  EXPECT_TRUE(any_difference) << "all 50 seeds produced the same plan";
+}
+
+TEST(FaultPlanValidation, RejectsOutOfDomainEventsAtBuildTime) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.io_errors(NodeId(0), seconds(1), seconds(2), -0.1), dyrs::CheckError);
+  EXPECT_THROW(plan.io_errors(NodeId(0), seconds(1), seconds(2), 1.5), dyrs::CheckError);
+  EXPECT_THROW(plan.degrade_disk(NodeId(0), seconds(1), seconds(2), 0.0), dyrs::CheckError);
+  EXPECT_THROW(plan.degrade_disk(NodeId(0), seconds(1), seconds(2), 1.2), dyrs::CheckError);
+  EXPECT_THROW(plan.crash_process(NodeId(), seconds(1), seconds(2)), dyrs::CheckError);
+  EXPECT_THROW(plan.partition(NodeId(1), -seconds(1), seconds(2)), dyrs::CheckError);
+  EXPECT_TRUE(plan.events.empty()) << "rejected events must not land in the plan";
+
+  plan.io_errors(NodeId(0), seconds(1), seconds(2), 0.25);
+  plan.degrade_disk(NodeId(1), seconds(1), seconds(2), 0.5);
+  EXPECT_EQ(plan.events.size(), 2u);
+}
+
+TEST(FaultPlanValidation, RejectsDegenerateGeneratorOptions) {
+  {
+    RandomPlanOptions opts = small_options();
+    opts.num_nodes = 0;
+    EXPECT_THROW(FaultPlan::random(opts, 1), dyrs::CheckError);
+  }
+  {
+    RandomPlanOptions opts = small_options();
+    opts.horizon = opts.start;
+    EXPECT_THROW(FaultPlan::random(opts, 1), dyrs::CheckError);
+  }
+  {
+    RandomPlanOptions opts = small_options();
+    opts.max_down = opts.min_down - 1;
+    EXPECT_THROW(FaultPlan::random(opts, 1), dyrs::CheckError);
+  }
+  {
+    RandomPlanOptions opts = small_options();
+    opts.max_io_error_rate = 0.01;  // below the generator's 0.05 floor
+    EXPECT_THROW(FaultPlan::random(opts, 1), dyrs::CheckError);
+  }
+  {
+    RandomPlanOptions opts = small_options();
+    opts.min_degradation = 0.95;  // above the generator's 0.9 ceiling
+    EXPECT_THROW(FaultPlan::random(opts, 1), dyrs::CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace dyrs::faults
