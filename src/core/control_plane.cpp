@@ -11,6 +11,8 @@ ControlPlane::Enqueued ControlPlane::enqueue(JobId job, EvictionMode mode, Block
   if (PendingMigration* pm = queue_.lookup(block)) {
     pm->jobs[job] = mode;
     merge_avoid(pm->avoid, avoid);
+    index_.note_mutate(block);
+    emitter_.enqueue_merged(now, block, job);
     return {pm, false};
   }
   PendingMigration pm;
@@ -21,6 +23,7 @@ ControlPlane::Enqueued ControlPlane::enqueue(JobId job, EvictionMode mode, Block
   pm.avoid = avoid;
   pm.requested_at = now;
   PendingMigration& entry = queue_.push(std::move(pm));
+  index_.note_append(queue_, block);
   emitter_.enqueue(now, block, job, entry.size, entry.replicas);
   return {&entry, true};
 }
@@ -28,13 +31,18 @@ ControlPlane::Enqueued ControlPlane::enqueue(JobId job, EvictionMode mode, Block
 TargetingStats ControlPlane::retarget(const std::vector<SlaveSnapshot>& snapshots, SimTime now) {
   TargetingStats stats;
   if (queue_.empty() || snapshots.empty()) return stats;
-  // Target in the same order binding will consider entries, so the greedy
-  // finish-time accounting matches the eventual assignment order.
+  const bool trace = emitter_.tracing() &&
+                     config_.target_trace == ControlPlaneConfig::TargetTrace::AtRetarget;
+  if (config_.retarget.mode == RetargetConfig::Mode::Incremental) {
+    return index_.pass(queue_, config_.ordering, config_.retarget, snapshots, now,
+                       trace ? &emitter_ : nullptr);
+  }
+  // Reference sweep. Target in the same order binding will consider
+  // entries, so the greedy finish-time accounting matches the eventual
+  // assignment order.
   std::vector<PendingMigration*> ptrs;
   ptrs.reserve(queue_.size());
   for (auto it : queue_.in_order(config_.ordering)) ptrs.push_back(&*it);
-  const bool trace = emitter_.tracing() &&
-                     config_.target_trace == ControlPlaneConfig::TargetTrace::AtRetarget;
   if (!trace) return assign_targets(ptrs, snapshots);
   std::vector<NodeId> before;
   before.reserve(ptrs.size());
@@ -45,7 +53,16 @@ TargetingStats ControlPlane::retarget(const std::vector<SlaveSnapshot>& snapshot
   for (std::size_t i = 0; i < ptrs.size(); ++i) {
     const PendingMigration& pm = *ptrs[i];
     if (pm.target == before[i] || !pm.target.valid()) continue;
-    emitter_.target(now, pm.block, pm.target, sec_per_byte[pm.target]);
+    // A target can out-live its node's snapshot membership (assigned while
+    // the node was reporting, node since declared dead). Never default-
+    // insert a 0.0 estimate for it: use the last-known value, else skip
+    // the event.
+    auto rate = sec_per_byte.find(pm.target);
+    if (rate != sec_per_byte.end()) {
+      emitter_.target(now, pm.block, pm.target, rate->second);
+    } else if (const double last = index_.basis_sec_per_byte(pm.target); last > 0.0) {
+      emitter_.target(now, pm.block, pm.target, last);
+    }
   }
   return stats;
 }
@@ -66,6 +83,7 @@ BoundMigration ControlPlane::bind_entry(PendingQueue::iterator it, NodeId node,
   emitter_.bind(now, bm.block, node, now - bm.requested_at);
   binding_log_.emplace_back(bm.block, node);
   queue_.erase(it);
+  index_.note_erase(queue_, bm.block);
   return bm;
 }
 
@@ -76,11 +94,16 @@ std::vector<BoundMigration> ControlPlane::bind_for(NodeId node, int free_slots,
   const bool targeted = config_.binding == Binding::LateTargeted;
   for (auto it : queue_.in_order(config_.ordering)) {
     if (free_slots <= 0) break;
+    // The avoid list gates both modes: a LateTargeted entry can carry a
+    // stale target pointing at a node that has since failed on it (the
+    // target was assigned before the failure, or by an incremental pass
+    // scoring against a held basis) — binding there anyway would hand the
+    // block back to the replica that just proved unable to serve it.
+    if (std::find(it->avoid.begin(), it->avoid.end(), node) != it->avoid.end()) continue;
     const bool eligible =
         targeted ? it->target == node
                  : std::find(it->replicas.begin(), it->replicas.end(), node) !=
-                           it->replicas.end() &&
-                       std::find(it->avoid.begin(), it->avoid.end(), node) == it->avoid.end();
+                       it->replicas.end();
     if (!eligible) continue;
     out.push_back(bind_entry(it, node, sec_per_byte, now));
     --free_slots;

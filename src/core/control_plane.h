@@ -27,6 +27,7 @@
 #include "core/pending_queue.h"
 #include "core/queue_depth.h"
 #include "core/replica_selector.h"
+#include "core/retarget_index.h"
 #include "core/types.h"
 
 namespace dyrs::core {
@@ -41,6 +42,11 @@ struct ControlPlaneConfig {
   /// nondeterministic across runs).
   enum class TargetTrace { AtRetarget, AtBind };
   TargetTrace target_trace = TargetTrace::AtRetarget;
+  /// Algorithm 1 pass engine: the reference full sweep, or the incremental
+  /// RetargetIndex (cached-prefix replay, dirty-suffix re-score, optional
+  /// block-striped shard parallelism). At zero thresholds and one shard
+  /// the two produce identical targets; the differential tests assert it.
+  RetargetConfig retarget;
   /// Slave local-queue depth (§III-B). The control plane itself never
   /// binds more than a slave's advertised free slots; both backend drivers
   /// derive those slots from this shared policy.
@@ -56,6 +62,8 @@ class ControlPlane {
   PendingQueue& queue() { return queue_; }
   const PendingQueue& queue() const { return queue_; }
   const ControlPlaneConfig& config() const { return config_; }
+  const RetargetIndex& retarget_index() const { return index_; }
+  RetargetIndex& retarget_index() { return index_; }
 
   struct Enqueued {
     PendingMigration* entry = nullptr;
@@ -63,7 +71,9 @@ class ControlPlane {
   };
   /// Adds `block` to the pending queue, or merges the job (and avoid
   /// history) into an existing entry — in which case `size` and `replicas`
-  /// are ignored. Emits `mig_enqueue` only for created entries.
+  /// are ignored. Emits `mig_enqueue` per call: with the full entry fields
+  /// for created entries, and a `merged=1` marker when the job joined an
+  /// already-open entry (so trace consumers see multi-job demand).
   Enqueued enqueue(JobId job, EvictionMode mode, BlockId block, Bytes size,
                    std::vector<NodeId> replicas, const std::vector<NodeId>& avoid, SimTime now);
 
@@ -103,6 +113,7 @@ class ControlPlane {
  private:
   ControlPlaneConfig config_;
   PendingQueue queue_;
+  RetargetIndex index_;
   LifecycleEmitter emitter_;
   std::vector<std::pair<BlockId, NodeId>> binding_log_;
 };

@@ -29,6 +29,13 @@ void LifecycleEmitter::enqueue(SimTime at, BlockId block, JobId job, Bytes size,
   emit(e, block, kRankEnqueue);
 }
 
+void LifecycleEmitter::enqueue_merged(SimTime at, BlockId block, JobId job) {
+  if (!tracing()) return;
+  obs::TraceEvent e(at, "mig_enqueue");
+  e.with("block", block.value()).with("job", job.value()).with("merged", std::int64_t{1});
+  emit(e, block, kRankEnqueue);
+}
+
 void LifecycleEmitter::target(SimTime at, BlockId block, NodeId node, double sec_per_byte) {
   if (!tracing()) return;
   obs::TraceEvent e(at, "mig_target");

@@ -47,6 +47,9 @@ class LifecycleEmitter {
 
   void enqueue(SimTime at, BlockId block, JobId job, Bytes size,
                const std::vector<NodeId>& replicas);
+  /// `mig_enqueue` with `merged=1`: `job` joined an already-open pending
+  /// entry (size/replicas ride on the entry's original enqueue event).
+  void enqueue_merged(SimTime at, BlockId block, JobId job);
   void target(SimTime at, BlockId block, NodeId node, double sec_per_byte);
   void bind(SimTime at, BlockId block, NodeId node, SimDuration wait);
   void transfer_start(SimTime at, BlockId block, NodeId node, Bytes size, int attempt);

@@ -16,6 +16,7 @@ MigrationMaster::MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namen
       plane_(ControlPlaneConfig{.binding = config.binding,
                                 .ordering = config.ordering,
                                 .target_trace = ControlPlaneConfig::TargetTrace::AtRetarget,
+                                .retarget = config.retarget,
                                 .queue_depth = config.slave.queue_depth}) {
   for (NodeId id : cluster_.node_ids()) {
     dfs::DataNode* dn = namenode_.datanode(id);

@@ -44,6 +44,8 @@ struct MasterConfig {
   /// Period of the Algorithm 1 retargeting pass (separate thread in the
   /// paper; an administrator-tunable rate, §III-D).
   SimDuration retarget_interval = milliseconds(500);
+  /// Pass engine: reference full sweep or incremental RetargetIndex.
+  RetargetConfig retarget;
   std::uint64_t seed = 99;
   SlaveConfig slave;
 };

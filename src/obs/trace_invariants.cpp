@@ -253,6 +253,23 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
     const bool zombie = node >= 0 && st.zombies.count(node) > 0;
 
     if (e.type == "mig_enqueue") {
+      // A merged enqueue records extra job demand joining an already-open
+      // pending entry; it must not reset the lifecycle (the entry's size,
+      // replicas and enqueue time belong to the original event).
+      if (e.i64("merged", 0) != 0) {
+        ++report.merged_enqueues;
+        if (st.phase == Phase::Pending) {
+          // expected: demand merged while the entry waits
+        } else if (failover_seen) {
+          ++report.zombie_events;
+        } else if (st.phase == Phase::Idle) {
+          violate("order", i, e, "merged enqueue with no open pending entry");
+        } else {
+          violate("order", i, e,
+                  "merged enqueue while lifecycle is " + std::string(phase_name(st.phase)));
+        }
+        continue;
+      }
       if (st.phase != Phase::Idle) {
         if (failover_seen) {
           ++report.zombie_events;

@@ -59,6 +59,7 @@ struct InvariantReport {
   std::size_t open_at_end = 0;           // lifecycles with no terminal by end-of-trace
   std::size_t abandoned_by_failover = 0; // open lifecycles wiped by failover
   std::size_t zombie_events = 0;         // tolerated events from zombie nodes
+  std::size_t merged_enqueues = 0;       // multi-job demand joining open entries
   bool memory_read_rule_active = false;  // trace had migrations to check against
 
   bool ok() const { return violations.empty(); }

@@ -14,6 +14,7 @@ RtMaster::RtMaster(Options options)
           .binding = core::Binding::LateTargeted,
           .ordering = options_.ordering,
           .target_trace = core::ControlPlaneConfig::TargetTrace::AtBind,
+          .retarget = options_.retarget,
           .queue_depth = options_.queue_depth}) {
   DYRS_CHECK(!options_.slaves.empty());
   ctr_completed_ = options_.obs.counter("rt.migrations.completed");

@@ -58,6 +58,11 @@ class RtMaster {
     std::chrono::milliseconds retarget_interval{5};
     /// Pending-queue ordering for binding decisions (shared policy core).
     core::Ordering ordering = core::Ordering::Fifo;
+    /// Algorithm 1 pass engine: reference full sweep (default) or the
+    /// incremental RetargetIndex. rt snapshots only move on heartbeat
+    /// reports, so incremental passes between reports are no-ops/tails —
+    /// exactly the cadence the index exploits.
+    core::RetargetConfig retarget;
     /// Slave queue-depth policy (§III-B), forwarded to every slave whose
     /// options left `queue_capacity` 0 — the same knob the sim backend
     /// reads from its ControlPlaneConfig.

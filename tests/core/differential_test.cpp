@@ -57,7 +57,8 @@ struct Outcome {
 /// enqueue-time Algorithm 1 pass assigns targets — the same single-pass
 /// decision the rt backend makes inside migrate().
 Outcome sim_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>>& jobs,
-            int num_nodes = kNodes, int replication = 2, bool heterogeneous = true) {
+            int num_nodes = kNodes, int replication = 2, bool heterogeneous = true,
+            core::RetargetConfig retarget = {}) {
   testing::MiniDfs::Options o;
   o.num_nodes = num_nodes;
   o.replication = replication;
@@ -72,6 +73,7 @@ Outcome sim_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>
 
   core::MasterConfig cfg;
   cfg.ordering = ordering;
+  cfg.retarget = retarget;
   cfg.retarget_interval = minutes(10);
   cfg.slave.reference_block = kBlock;
   auto master = core::make_dyrs(*dfs.cluster, *dfs.namenode, cfg);
@@ -95,7 +97,8 @@ Outcome sim_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>
 }
 
 Outcome rt_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>>& jobs,
-           int num_nodes = kNodes, int replication = 2, bool heterogeneous = true) {
+           int num_nodes = kNodes, int replication = 2, bool heterogeneous = true,
+           core::RetargetConfig retarget = {}) {
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   obs::ThreadLocalBufferSink sink;
@@ -112,6 +115,7 @@ Outcome rt_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>>
   }
   options.retarget_interval = 60s;  // only migrate()'s pass assigns targets
   options.ordering = ordering;
+  options.retarget = retarget;
   options.obs = obs::ObsContext(&registry, &tracer);
   rt::RtMaster master(std::move(options));
 
@@ -197,6 +201,41 @@ TEST(Differential, SmallestJobFirstBindsSmallJobFirstOnBoth) {
   EXPECT_EQ(sim_out.bindings.at(NodeId(1)),
             (std::vector<BlockId>{BlockId(1), BlockId(3), BlockId(5)}));
   check_traces(sim_out, rt_out);
+}
+
+// The correctness anchor for the incremental retargeter: at zero drift
+// thresholds and one shard, incremental and reference passes must make
+// identical binding decisions on *both* backends — four runs, one
+// projection.
+TEST(Differential, IncrementalRetargetMatchesReferenceOnBothBackends) {
+  const std::vector<std::pair<JobId, int>> jobs = {{JobId(1), 16}};
+  core::RetargetConfig incremental;
+  incremental.mode = core::RetargetConfig::Mode::Incremental;
+
+  const Outcome sim_ref = sim_run(core::Ordering::Fifo, jobs);
+  const Outcome sim_inc = sim_run(core::Ordering::Fifo, jobs, kNodes, 2, true, incremental);
+  const Outcome rt_ref = rt_run(core::Ordering::Fifo, jobs);
+  const Outcome rt_inc = rt_run(core::Ordering::Fifo, jobs, kNodes, 2, true, incremental);
+
+  ASSERT_FALSE(sim_ref.bindings.empty());
+  EXPECT_EQ(sim_ref.bindings, sim_inc.bindings);
+  EXPECT_EQ(rt_ref.bindings, rt_inc.bindings);
+  EXPECT_EQ(sim_ref.bindings, rt_inc.bindings);
+  check_traces(sim_inc, rt_inc);
+}
+
+// SJF forces the incremental engine's full-sweep fallback (global job
+// priorities make prefix caching unsound); decisions must still match.
+TEST(Differential, IncrementalSjfFallbackMatchesReference) {
+  const std::vector<std::pair<JobId, int>> jobs = {{JobId(1), 6}, {JobId(2), 1}};
+  core::RetargetConfig incremental;
+  incremental.mode = core::RetargetConfig::Mode::Incremental;
+
+  const Outcome ref = sim_run(core::Ordering::SmallestJobFirst, jobs, 2, 1, false);
+  const Outcome inc = sim_run(core::Ordering::SmallestJobFirst, jobs, 2, 1, false, incremental);
+  const Outcome rt_inc = rt_run(core::Ordering::SmallestJobFirst, jobs, 2, 1, false, incremental);
+  EXPECT_EQ(ref.bindings, inc.bindings);
+  EXPECT_EQ(ref.bindings, rt_inc.bindings);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
 #include <vector>
 
 #include "common/check.h"
@@ -258,6 +259,49 @@ TEST(RtFaults, SuspicionIsAGracePeriodNotADeclaration) {
   master.slave(NodeId(0)).set_partitioned(false);
   ASSERT_TRUE(wait_state(master, NodeId(0), RtMaster::NodeState::Alive, 5000ms));
   EXPECT_EQ(master.requeued(), 0);
+}
+
+// Regression for the bind_for avoid-list hole: a block whose replica
+// exhausted its retry budget is requeued with that node on its avoid list,
+// and must never bind there again — even under the incremental retargeter
+// holding a stale scoring basis (the window where a stale target can still
+// point at the failed node).
+TEST(RtFaults, PermanentIoErrorsNeverRebindToAvoidedReplica) {
+  auto bad = slave_opts(0, mib_per_sec(400));  // fastest: Algorithm 1's first pick
+  bad.retry = {.max_attempts = 2, .backoff = milliseconds(1), .backoff_cap = milliseconds(2)};
+  RtMaster::Options options;
+  options.slaves = {bad, slave_opts(1, mib_per_sec(100))};
+  options.retarget_interval = 2ms;
+  options.retarget.mode = core::RetargetConfig::Mode::Incremental;
+  options.retarget.estimate_threshold = 0.3;
+  options.retarget.queued_threshold = 1.0;
+  RtMaster master(std::move(options));
+
+  faults::RtFaultInjector injector(master, /*seed=*/3);
+  faults::FaultPlan plan;
+  plan.io_errors(NodeId(0), 0, seconds(60), 1.0);  // every attempt on node 0 fails
+  injector.install(plan);
+
+  std::vector<RtBlock> blocks;
+  for (int i = 0; i < 4; ++i) blocks.push_back({BlockId(i), 256 * kKiB, {NodeId(0), NodeId(1)}, JobId(1)});
+  master.migrate(blocks);
+  ASSERT_TRUE(master.wait_idle(60s));
+
+  EXPECT_EQ(master.completed(), 4);
+  EXPECT_EQ(master.completed_per_node()[NodeId(0)], 0);
+  EXPECT_EQ(master.completed_per_node()[NodeId(1)], 4);
+  EXPECT_GE(master.slave(NodeId(0)).permanent_failures(), 1);
+  EXPECT_GE(master.requeued(), 1);
+
+  // Each block visits node 0 at most once; after the failure joins its
+  // avoid list, every further bind is at node 1.
+  std::map<BlockId, int> binds_at_bad;
+  for (const auto& [block, node] : master.binding_log()) {
+    if (node == NodeId(0)) ++binds_at_bad[block];
+  }
+  for (const auto& [block, count] : binds_at_bad) {
+    EXPECT_LE(count, 1) << "block " << block << " re-bound to its avoided replica";
+  }
 }
 
 TEST(RtFaults, DetectionDisabledReportsAlive) {
