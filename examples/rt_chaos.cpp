@@ -25,9 +25,14 @@
 // profile with open-lifecycle flagging on.
 //
 //   rt_chaos [--seed N] [--trace FILE] [--spans FILE]
-//     --trace   write run 2's merged JSONL trace to FILE
-//     --spans   write run 2's settlement projection to FILE (one
-//               "block: span" line per block; CI diffs two same-seed runs)
+//            [--exchange reference|sharded]
+//     --trace    write run 2's merged JSONL trace to FILE
+//     --spans    write run 2's settlement projection to FILE (one
+//                "block: span" line per block; CI diffs two same-seed runs)
+//     --exchange master<->slave exchange engine; `sharded` runs every phase
+//                on the throughput path (sharded settlement, drain batches
+//                of 4) — batched completions racing phase A/C reclaim
+//                windows must still settle exactly once per member
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -81,12 +86,18 @@ std::vector<rt::RtBlock> single_replica(int first_id, int count, int node, Bytes
 }
 
 /// One full chaos scenario; returns the merged trace of all four phases.
-std::vector<obs::TraceEvent> run_once(std::uint64_t seed, obs::ThreadLocalBufferSink& sink) {
+std::vector<obs::TraceEvent> run_once(std::uint64_t seed, obs::ThreadLocalBufferSink& sink,
+                                      bool sharded) {
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   tracer.set_sink(&sink);
 
   rt::RtMaster::Options options;
+  if (sharded) {
+    options.exchange.mode = rt::RtMaster::Options::ExchangeConfig::Mode::Sharded;
+    options.exchange.shards = 8;
+    options.exchange.drain_batch = 4;
+  }
   for (int n = 0; n < 3; ++n) {
     rt::RtSlave::Options slave;
     slave.node = NodeId(n);
@@ -133,7 +144,7 @@ std::vector<obs::TraceEvent> run_once(std::uint64_t seed, obs::ThreadLocalBuffer
 
     await_state(master, NodeId(2), rt::RtMaster::NodeState::Dead, "phase A declared-dead");
     require(master.wait_idle(60s), "phase A did not drain");
-    require(master.completed() == 52, "phase A expected 52 completions");
+    require(master.completed() == 52, "phase A expected 52 completions, got " + std::to_string(master.completed()));
     require(master.completed_per_node()[NodeId(2)] == 0,
             "phase A: the crashed node must not own a completion");
     require(master.requeued() >= 3, "phase A expected >= 3 declared-dead requeues");
@@ -160,7 +171,7 @@ std::vector<obs::TraceEvent> run_once(std::uint64_t seed, obs::ThreadLocalBuffer
     const long before = master.completed();
     master.migrate(blocks);
     require(master.wait_idle(60s), "phase B did not drain");
-    require(master.completed() == before + 12, "phase B expected 12 completions");
+    require(master.completed() == before + 12, "phase B expected 12 completions, got " + std::to_string(master.completed() - before));
     require(injector.wait_done(30000ms), "phase B timeline did not finish");
   }
 
@@ -185,7 +196,7 @@ std::vector<obs::TraceEvent> run_once(std::uint64_t seed, obs::ThreadLocalBuffer
     await_state(master, NodeId(2), rt::RtMaster::NodeState::Dead, "phase C declared-dead");
     require(master.slave(NodeId(2)).running(), "phase C: partitioned daemon must stay up");
     require(master.wait_idle(60s), "phase C did not drain");
-    require(master.completed() == before + 13, "phase C expected 13 completions");
+    require(master.completed() == before + 13, "phase C expected 13 completions, got " + std::to_string(master.completed() - before));
     require(master.requeued() >= requeued_before + 1, "phase C expected a reclaim requeue");
     require(injector.wait_done(30000ms), "phase C timeline did not finish");
     await_state(master, NodeId(2), rt::RtMaster::NodeState::Alive, "phase C rejoin");
@@ -235,6 +246,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string trace_path;
   std::string spans_path;
+  bool sharded = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::stoull(argv[++i]);
@@ -242,16 +254,24 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--spans") && i + 1 < argc) {
       spans_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--exchange") && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode != "reference" && mode != "sharded") {
+        std::cerr << "unknown exchange mode: " << mode << "\n";
+        return 2;
+      }
+      sharded = mode == "sharded";
     } else {
-      std::cerr << "usage: rt_chaos [--seed N] [--trace FILE] [--spans FILE]\n";
+      std::cerr << "usage: rt_chaos [--seed N] [--trace FILE] [--spans FILE]"
+                   " [--exchange reference|sharded]\n";
       return 2;
     }
   }
 
   obs::ThreadLocalBufferSink sink1;
   obs::ThreadLocalBufferSink sink2;
-  const std::vector<obs::TraceEvent> trace1 = run_once(seed, sink1);
-  const std::vector<obs::TraceEvent> trace2 = run_once(seed, sink2);
+  const std::vector<obs::TraceEvent> trace1 = run_once(seed, sink1, sharded);
+  const std::vector<obs::TraceEvent> trace2 = run_once(seed, sink2, sharded);
 
   const auto set1 = settlement(trace1);
   const auto set2 = settlement(trace2);

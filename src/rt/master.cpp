@@ -8,6 +8,8 @@
 
 namespace dyrs::rt {
 
+thread_local std::uint64_t RtMaster::stamp_cycle_ = 0;
+
 RtMaster::RtMaster(Options options)
     : options_(std::move(options)),
       plane_(core::ControlPlaneConfig{
@@ -17,6 +19,15 @@ RtMaster::RtMaster(Options options)
           .retarget = options_.retarget,
           .queue_depth = options_.queue_depth}) {
   DYRS_CHECK(!options_.slaves.empty());
+  // Settlement shards exist before any worker can pull; the vector is
+  // never resized afterwards. Reference mode is a single shard that is
+  // only ever touched with mu_ also held.
+  const int shard_count =
+      options_.exchange.mode == Options::ExchangeConfig::Mode::Sharded
+          ? std::max(1, options_.exchange.shards)
+          : 1;
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) shards_.push_back(std::make_unique<SettleShard>());
   ctr_completed_ = options_.obs.counter("rt.migrations.completed");
   ctr_cancelled_ = options_.obs.counter("rt.migrations.cancelled");
   ctr_requeued_ = options_.obs.counter("rt.migrations.requeued");
@@ -24,15 +35,18 @@ RtMaster::RtMaster(Options options)
   ctr_pulls_ = options_.obs.counter("rt.pulls");
   ctr_nodes_dead_ = options_.obs.counter("rt.nodes.declared_dead");
   ctr_nodes_rejoined_ = options_.obs.counter("rt.nodes.rejoined");
-  // Master-emitted lifecycle events are serialized under mu_ (tid 0); the
-  // stamper resolves the lifecycle's cycle from the per-block counter, or
-  // from the explicit override when settling an older cycle's migration.
+  // Master-lane lifecycle events (tid 0) stamp a lock-free tseq; causally
+  // ordered same-block emissions synchronize through the block's shard (or
+  // mu_), so their tseqs respect the lifecycle order. The cycle comes from
+  // the per-block counter, or from the thread-local override when settling
+  // an older cycle's migration.
   plane_.set_emitter(core::LifecycleEmitter(
       options_.obs, [this](obs::TraceEvent& e, BlockId block, int rank) {
         const std::uint64_t cycle = stamp_cycle_ != 0 ? stamp_cycle_ : cycle_for(block);
         e.with("lseq", rt_lseq(cycle, rank))
             .with("tid", 0)
-            .with("tseq", static_cast<std::int64_t>(++trace_seq_));
+            .with("tseq", static_cast<std::int64_t>(
+                              trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1));
       }));
   // Each RtSlave starts its worker in its constructor, and the worker's
   // first pull() reads `slaves_` under mu_ — so registration must hold mu_
@@ -49,8 +63,12 @@ RtMaster::RtMaster(Options options)
       // One depth knob for both backends: a slave whose options left
       // queue_capacity 0 derives it from the shared policy (§III-B).
       if (slave_opts.queue_capacity == 0) slave_opts.queue_depth = options_.queue_depth;
+      // The exchange knob drives every slave that did not set its own
+      // drain-batch size.
+      if (slave_opts.drain_batch <= 1) slave_opts.drain_batch = options_.exchange.drain_batch;
       auto slave = std::make_unique<RtSlave>(
-          slave_opts, [this](const RtMigrationDone& d) { on_complete(d); },
+          slave_opts,
+          [this](std::vector<RtMigrationDone> dones) { on_complete_batch(std::move(dones)); },
           [this](NodeId node, int space) { return pull(node, space); },
           [this](NodeId node, RtMigration m) { on_failed(node, std::move(m)); });
       node_order_.push_back(slave_opts.node);
@@ -59,7 +77,10 @@ RtMaster::RtMaster(Options options)
     // The slave set is fixed for the master's lifetime: one deterministic
     // snapshot order, computed once instead of per retarget pass.
     std::sort(node_order_.begin(), node_order_.end());
-    for (NodeId id : node_order_) health_[id] = NodeState::Alive;
+    for (NodeId id : node_order_) {
+      health_[id] = NodeState::Alive;
+      per_node_.try_emplace(id);
+    }
   }
   retargeter_ = std::jthread([this](std::stop_token st) { retarget_loop(st); });
   if (options_.failure_detection.enabled) {
@@ -73,9 +94,15 @@ std::int64_t RtMaster::now_us() const {
       .count();
 }
 
+RtMaster::SettleShard& RtMaster::shard_for(BlockId block) const {
+  return *shards_[static_cast<std::size_t>(block.value()) % shards_.size()];
+}
+
 std::uint64_t RtMaster::cycle_for(BlockId block) const {
-  auto it = cycle_.find(block);
-  return it == cycle_.end() ? 1 : it->second;
+  SettleShard& sh = shard_for(block);
+  std::lock_guard slock(sh.mu);
+  auto it = sh.cycle.find(block);
+  return it == sh.cycle.end() ? 1 : it->second;
 }
 
 RtMaster::~RtMaster() { shutdown(); }
@@ -106,11 +133,16 @@ void RtMaster::enqueue_locked(JobId job, core::EvictionMode mode, BlockId block,
                               const std::vector<NodeId>& replicas,
                               const std::vector<NodeId>& avoid) {
   // A new entry opens a new lifecycle: bump the cycle *before* the control
-  // plane emits mig_enqueue so the stamper keys it correctly. Merges join
-  // the lifecycle already open.
-  if (!plane_.queue().contains(block)) ++cycle_[block];
+  // plane emits mig_enqueue so the stamper keys it correctly (the shard
+  // lock is released first — the stamper reacquires it). Merges join the
+  // lifecycle already open.
+  if (!plane_.queue().contains(block)) {
+    SettleShard& sh = shard_for(block);
+    std::lock_guard slock(sh.mu);
+    ++sh.cycle[block];
+  }
   const auto r = plane_.enqueue(job, mode, block, size, replicas, avoid, now_us());
-  if (r.created) ++outstanding_;
+  if (r.created) outstanding_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RtMaster::migrate(const std::vector<RtBlock>& blocks) {
@@ -186,15 +218,21 @@ void RtMaster::declare_dead_locked(NodeId node) {
   // Reclaim what was bound there: every unsettled lifecycle aborts with
   // heartbeat-loss and its block requeues through the control plane with
   // the dead node on the avoid list — Algorithm 1 then re-targets the
-  // survivors. Sorted by block so the requeue order (and therefore the
-  // downstream binding order) is deterministic.
+  // survivors. The registry is scanned shard by shard; a completion that
+  // wins its shard's lock first settles normally and is simply absent
+  // here, one that loses finds its record gone and drops as a zombie —
+  // per batch member, never per batch. Sorted by block so the requeue
+  // order (and therefore the downstream binding order) is deterministic.
   std::vector<BoundRec> recs;
-  for (auto it = bound_.begin(); it != bound_.end();) {
-    if (it->second.node == node) {
-      recs.push_back(std::move(it->second));
-      it = bound_.erase(it);
-    } else {
-      ++it;
+  for (const auto& shp : shards_) {
+    std::lock_guard slock(shp->mu);
+    for (auto it = shp->bound.begin(); it != shp->bound.end();) {
+      if (it->second.node == node) {
+        recs.push_back(std::move(it->second));
+        it = shp->bound.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   std::sort(recs.begin(), recs.end(),
@@ -208,7 +246,9 @@ void RtMaster::declare_dead_locked(NodeId node) {
                             .reason = core::CancelReason::HeartbeatLoss,
                             .at = now_us()});
     stamp_cycle_ = 0;
-    --outstanding_;  // each reclaimed lifecycle settled; requeues reopen
+    // Each reclaimed lifecycle settled; requeues reopen. mu_ is held, so
+    // wait_idle cannot observe the transient dip.
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     lost.push_back(std::move(rec.m));
   }
   const int n = plane_.requeue(
@@ -218,13 +258,13 @@ void RtMaster::declare_dead_locked(NodeId node) {
       },
       now_us());
   if (n > 0) {
-    requeued_ += n;
+    requeued_.fetch_add(n, std::memory_order_relaxed);
     if (ctr_requeued_ != nullptr) ctr_requeued_->add(n);
   }
   drop_untargetable_locked();
   sample_estimates_locked();
   retarget_locked();
-  if (outstanding_ == 0) idle_cv_.notify_all();
+  if (outstanding_.load(std::memory_order_acquire) == 0) idle_cv_.notify_all();
 }
 
 void RtMaster::check_health() {
@@ -319,45 +359,104 @@ std::vector<RtMigration> RtMaster::pull(NodeId node, int space) {
   // Binding happens in the same step — the pull IS the bind — so
   // `mig_bind`'s wait_us is exactly bind-time minus enqueue-time.
   for (core::BoundMigration& bm : plane_.bind_for(node, space, spb, now_us())) {
-    const std::uint64_t cycle = cycle_.at(bm.block);
     // Register the binding so the failure detector can reclaim it if this
     // node goes silent before settling it.
-    bound_[bm.block] = BoundRec{bm, node, cycle};
+    SettleShard& sh = shard_for(bm.block);
+    std::uint64_t cycle = 1;
+    {
+      std::lock_guard slock(sh.mu);
+      cycle = sh.cycle.at(bm.block);
+      sh.bound[bm.block] = BoundRec{bm, node, cycle};
+    }
     out.push_back({std::move(bm), cycle});
   }
   return out;
 }
 
-bool RtMaster::settle_bound_locked(BlockId block, NodeId node, std::uint64_t cycle) {
-  auto it = bound_.find(block);
-  if (it == bound_.end() || it->second.node != node || it->second.cycle != cycle) {
+bool RtMaster::settle_bound(BlockId block, NodeId node, std::uint64_t cycle) {
+  SettleShard& sh = shard_for(block);
+  std::lock_guard slock(sh.mu);
+  auto it = sh.bound.find(block);
+  if (it == sh.bound.end() || it->second.node != node || it->second.cycle != cycle) {
     // Zombie report: this binding was already reclaimed (declared-dead
     // requeue) — the lifecycle settled elsewhere, so the late completion
     // or failure from the silent node must be dropped, not double-counted.
     return false;
   }
-  bound_.erase(it);
+  sh.bound.erase(it);
   return true;
 }
 
-void RtMaster::on_complete(const RtMigrationDone& done) {
-  std::lock_guard lock(mu_);
-  if (!settle_bound_locked(done.block, done.node, done.cycle)) return;
-  if (ctr_completed_ != nullptr) ctr_completed_->inc();
-  stamp_cycle_ = done.cycle;
-  plane_.emitter().complete(now_us(), done.block, done.node, done.size, done.duration_s);
-  stamp_cycle_ = 0;
-  ++completed_;
-  ++per_node_[done.node];
-  for (const auto& [job, mode] : done.jobs) ++per_job_[job];
-  if (--outstanding_ == 0) idle_cv_.notify_all();
+void RtMaster::settle_outstanding(long n) {
+  if (outstanding_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    // Lock round-trip so the wakeup orders after a concurrent waiter's
+    // predicate re-check (same pattern as shutdown()).
+    { std::lock_guard lock(mu_); }
+    idle_cv_.notify_all();
+  }
+}
+
+void RtMaster::on_complete_batch(std::vector<RtMigrationDone> dones) {
+  if (dones.empty()) return;
+  // Reference mode serializes the entire settlement under the master
+  // mutex — the seed's per-block shape, kept honest so the equivalence
+  // tests compare against a genuinely single-lock baseline.
+  std::unique_lock<std::mutex> ref_lock;
+  if (options_.exchange.mode == Options::ExchangeConfig::Mode::Reference) {
+    ref_lock = std::unique_lock(mu_);
+  }
+  std::vector<core::CompletionRecord> settled;
+  if (tracing()) settled.reserve(dones.size());
+  long n = 0;
+  const std::int64_t now = now_us();
+  for (const RtMigrationDone& done : dones) {
+    // Zombie suppression is keyed on each batch *member's* (block, node,
+    // cycle): a member whose binding was reclaimed during a partition
+    // window drops here while its batch-mates settle exactly once.
+    SettleShard& sh = shard_for(done.block);
+    {
+      std::lock_guard slock(sh.mu);
+      auto it = sh.bound.find(done.block);
+      if (it == sh.bound.end() || it->second.node != done.node ||
+          it->second.cycle != done.cycle) {
+        continue;
+      }
+      sh.bound.erase(it);
+      for (const auto& [job, mode] : done.jobs) ++sh.per_job[job];
+    }
+    if (ctr_completed_ != nullptr) ctr_completed_->inc();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    per_node_.at(done.node).fetch_add(1, std::memory_order_relaxed);
+    ++n;
+    if (tracing()) {
+      settled.push_back({.at = now,
+                         .block = done.block,
+                         .node = done.node,
+                         .size = done.size,
+                         .transfer_s = done.duration_s,
+                         .cycle = done.cycle});
+    }
+  }
+  if (!settled.empty()) {
+    // One coalesced emission per drain cycle; each record stamps with its
+    // own cycle, so the batch stays invisible in the merge key.
+    plane_.emitter().complete_batch(
+        settled, [](const core::CompletionRecord& r) { stamp_cycle_ = r.cycle; });
+    stamp_cycle_ = 0;
+  }
+  if (n == 0) return;
+  if (ref_lock.owns_lock()) {
+    if (outstanding_.fetch_sub(n, std::memory_order_acq_rel) == n) idle_cv_.notify_all();
+  } else {
+    settle_outstanding(n);
+  }
 }
 
 void RtMaster::on_failed(NodeId node, RtMigration mig) {
   bool requeued = false;
   {
     std::lock_guard lock(mu_);
-    if (!settle_bound_locked(mig.m.block, node, mig.cycle)) return;
+    if (!settle_bound(mig.m.block, node, mig.cycle)) return;
     stamp_cycle_ = mig.cycle;
     plane_.emitter().abort({.block = mig.m.block,
                             .node = node,
@@ -433,8 +532,14 @@ bool RtMaster::cancel(BlockId block) {
     if (slave->cancel(block)) {
       if (ctr_cancelled_ != nullptr) ctr_cancelled_->inc();
       std::lock_guard lock(mu_);
-      auto it = bound_.find(block);
-      if (it != bound_.end() && it->second.node == id) bound_.erase(it);
+      {
+        // Shard lock released before the abort emission: the stamper reads
+        // the cycle through cycle_for, which takes the same shard lock.
+        SettleShard& sh = shard_for(block);
+        std::lock_guard slock(sh.mu);
+        auto it = sh.bound.find(block);
+        if (it != sh.bound.end() && it->second.node == id) sh.bound.erase(it);
+      }
       plane_.emitter().abort({.block = block,
                               .node = id,
                               .reason = core::CancelReason::MissedRead,
@@ -480,24 +585,29 @@ std::size_t RtMaster::pending() const {
   return plane_.queue().size();
 }
 
-long RtMaster::completed() const {
-  std::lock_guard lock(mu_);
-  return completed_;
-}
+long RtMaster::completed() const { return completed_.load(std::memory_order_relaxed); }
 
-long RtMaster::requeued() const {
-  std::lock_guard lock(mu_);
-  return requeued_;
-}
+long RtMaster::requeued() const { return requeued_.load(std::memory_order_relaxed); }
 
 std::unordered_map<NodeId, long> RtMaster::completed_per_node() const {
-  std::lock_guard lock(mu_);
-  return per_node_;
+  // Lock-free snapshot: the key set is fixed at construction, so iterating
+  // concurrently with worker-thread fetch_adds is safe — pollers never
+  // stall a pull, which is the point of the sharded exchange.
+  std::unordered_map<NodeId, long> out;
+  out.reserve(per_node_.size());
+  for (const auto& [id, n] : per_node_) out.emplace(id, n.load(std::memory_order_relaxed));
+  return out;
 }
 
 std::unordered_map<JobId, long> RtMaster::completed_per_job() const {
-  std::lock_guard lock(mu_);
-  return per_job_;
+  // Per-job accounting lives with the shard that settled the block; the
+  // snapshot aggregates shard by shard without ever touching mu_.
+  std::unordered_map<JobId, long> out;
+  for (const auto& shp : shards_) {
+    std::lock_guard slock(shp->mu);
+    for (const auto& [job, n] : shp->per_job) out[job] += n;
+  }
+  return out;
 }
 
 std::vector<std::pair<BlockId, NodeId>> RtMaster::binding_log() const {

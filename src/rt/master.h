@@ -2,10 +2,16 @@
 //
 // Demonstrates the production shape of the protocol: slaves pull from their
 // own worker threads, the Algorithm 1 retargeting pass runs in a separate
-// thread off the pull path (§III-D), and all shared state is guarded by a
-// single master mutex (the pending list is small; the paper measures a
-// retargeting pass over 50GB of pending migrations in under a millisecond,
-// which bench/micro_algo1 confirms for this implementation).
+// thread off the pull path (§III-D), and the policy state (pending queue,
+// binding log, retarget engine) is guarded by the master mutex. Settlement
+// state — the bound registry, per-block cycle counters and per-job
+// accounting — shards by block id (ExchangeConfig::Mode::Sharded, the same
+// block-striping rule core::RetargetIndex uses), with the completion
+// counters lock-free atomics, so batched completion reports and the
+// `completed*` accessors stay off the pull path. The single-lock reference
+// path is kept behind the same Options knob pattern RetargetConfig
+// established for Algorithm 1, and bench/micro_rt_throughput measures one
+// against the other.
 //
 // The master is the *rt backend driver* of the shared migration control
 // plane (src/core): policy decisions (pending ordering, Algorithm 1
@@ -67,6 +73,30 @@ class RtMaster {
     /// options left `queue_capacity` 0 — the same knob the sim backend
     /// reads from its ControlPlaneConfig.
     core::QueueDepthPolicy queue_depth;
+    /// Master<->slave exchange engine. Reference keeps the seed's shape:
+    /// per-block drain cadence and every settlement serialized under the
+    /// master mutex. Sharded stripes the settlement state (bound registry,
+    /// cycle counters, per-job accounting) by block id — the same
+    /// `block % shards` rule RetargetIndex uses — and settles batched
+    /// completion reports under the shard locks only, with the completion
+    /// counters lock-free. The two modes produce identical settlement
+    /// projections, accounting and per-node binding logs
+    /// (tests/rt/rt_batch_equivalence_test); the reference path exists so
+    /// that claim stays testable, exactly as RetargetConfig keeps the
+    /// reference Algorithm 1 sweep.
+    struct ExchangeConfig {
+      enum class Mode { Reference, Sharded };
+      Mode mode = Mode::Reference;
+      /// Settlement shard count (Sharded mode; Reference always uses 1).
+      int shards = 8;
+      /// Drain-batch size forwarded to every slave that left its own
+      /// `drain_batch` at 1: how many migrations a slave reads per worker
+      /// cycle as one token-bucket submission, coalescing their
+      /// completions into one on_complete_batch. 1 keeps the per-block
+      /// cadence.
+      int drain_batch = 1;
+    };
+    ExchangeConfig exchange;
     /// Master-side failure detection. Slaves publish wall-clock heartbeats
     /// (every worker-loop iteration and every disk slice); when enabled, a
     /// monitor thread applies a timeout -> suspicion -> declared-dead state
@@ -122,6 +152,9 @@ class RtMaster {
   /// disabled — the state machine never runs).
   NodeState node_state(NodeId id) const;
   std::size_t pending() const;
+  /// The completion accessors snapshot lock-free counters (per-node) or
+  /// per-shard accounting (per-job) and never take the master mutex, so
+  /// polling them cannot stall pulls — tests/rt cover that regression.
   long completed() const;
   /// Completed migrations per node.
   std::unordered_map<NodeId, long> completed_per_node() const;
@@ -141,8 +174,23 @@ class RtMaster {
   void shutdown();
 
  private:
+  /// Settlement state striped by block id (`block % shards_.size()`, the
+  /// RetargetIndex rule). In Reference mode there is exactly one shard and
+  /// every access additionally happens under mu_; in Sharded mode the
+  /// completion path touches only the owning shard's lock. Lock order:
+  /// mu_ may be held when taking a shard lock, never the reverse, and no
+  /// emission happens while a shard lock is held (the master stamper
+  /// itself reads a shard for the cycle).
+  struct BoundRec;
+  struct SettleShard;
+
   std::vector<RtMigration> pull(NodeId node, int space);
-  void on_complete(const RtMigrationDone& done);
+  /// Settles a drain cycle's coalesced completion reports. Zombie
+  /// suppression is keyed on each batch *member's* (block, node, cycle) —
+  /// a member whose binding was reclaimed drops individually while its
+  /// batch-mates settle. Reference mode wraps the whole call in mu_; the
+  /// per-block cadence is simply a batch of one.
+  void on_complete_batch(std::vector<RtMigrationDone> dones);
   /// A migration exhausted its local retry budget at `node`: abort that
   /// lifecycle and requeue the block with the node on its avoid list.
   void on_failed(NodeId node, RtMigration mig);
@@ -156,8 +204,13 @@ class RtMaster {
   void declare_dead_locked(NodeId node);
   /// A settled binding (complete / failed / cancelled) leaves the bound
   /// registry; reports whose (node, cycle) no longer match the registry
-  /// are zombies from a reclaimed binding and must be ignored.
-  bool settle_bound_locked(BlockId block, NodeId node, std::uint64_t cycle);
+  /// are zombies from a reclaimed binding and must be ignored. Locks the
+  /// block's shard internally (mu_ optional).
+  bool settle_bound(BlockId block, NodeId node, std::uint64_t cycle);
+  /// Retires `n` settled lifecycles without holding mu_: decrements the
+  /// outstanding count and, on reaching zero, wakes wait_idle() through a
+  /// mu_ round-trip so the wakeup orders after the waiter's predicate.
+  void settle_outstanding(long n);
   bool node_dead_locked(NodeId node) const;
   /// `node_state` marker on the master lane (blockless: lseq 0, tid 0).
   void emit_node_state_locked(NodeId node, const char* state);
@@ -173,7 +226,25 @@ class RtMaster {
   /// nothing can ever bind them, and wait_idle() must not hang on them.
   void drop_untargetable_locked();
   std::uint64_t cycle_for(BlockId block) const;
+  SettleShard& shard_for(BlockId block) const;
   bool tracing() const { return options_.obs.tracing(); }
+
+  /// Registry entry for a bound-but-unsettled migration: which (node,
+  /// cycle) the block is out at. The failure detector reclaims from it;
+  /// settlement reports that no longer match it are zombies and dropped.
+  struct BoundRec {
+    core::BoundMigration m;
+    NodeId node;
+    std::uint64_t cycle = 1;
+  };
+  struct SettleShard {
+    mutable std::mutex mu;
+    std::unordered_map<BlockId, BoundRec> bound;
+    /// Per-block lifecycle count (bumped when a new pending entry opens).
+    std::unordered_map<BlockId, std::uint64_t> cycle;
+    /// Per-job completion accounting; aggregated across shards on read.
+    std::unordered_map<JobId, long> per_job;
+  };
 
   Options options_;
   const std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
@@ -181,26 +252,29 @@ class RtMaster {
   std::condition_variable idle_cv_;
   core::ControlPlane plane_;          // pending state + policy; under mu_
   std::vector<NodeId> node_order_;    // deterministic snapshot order; fixed at ctor
-  long outstanding_ = 0;  // queued at master + bound at slaves, not done
-  long completed_ = 0;
-  long requeued_ = 0;
-  std::unordered_map<NodeId, long> per_node_;
-  std::unordered_map<JobId, long> per_job_;
-  std::unordered_map<BlockId, std::uint64_t> cycle_;  // per-block lifecycle count
-  std::uint64_t stamp_cycle_ = 0;  // nonzero: cycle override for the next emission; under mu_
-  std::uint64_t trace_seq_ = 0;    // master tseq; under mu_
+  /// Settlement shards; sized at construction (1 in Reference mode) and
+  /// never resized, so shard_for needs no lock of its own.
+  std::vector<std::unique_ptr<SettleShard>> shards_;
+  /// Lifecycle counters, lock-free so batched settlement and the
+  /// `completed*` accessors never touch mu_. outstanding_ = queued at
+  /// master + bound at slaves, not done; its transient mid-update dips
+  /// only ever happen while mu_ is held, and wait_idle's predicate runs
+  /// under mu_, so a waiter never observes them.
+  std::atomic<long> outstanding_{0};
+  std::atomic<long> completed_{0};
+  std::atomic<long> requeued_{0};
+  /// Per-node completion counters. Keys are fixed at construction (the
+  /// slave set never changes), so concurrent .at() lookups are safe and
+  /// the accessor snapshot takes no lock.
+  std::unordered_map<NodeId, std::atomic<long>> per_node_;
+  /// Cycle override for emissions on the current thread (0 = resolve from
+  /// the shard). Thread-local: settlement paths on worker threads and the
+  /// master thread each stamp their own lifecycle's cycle.
+  static thread_local std::uint64_t stamp_cycle_;
+  std::atomic<std::uint64_t> trace_seq_{0};  // master-lane tseq (tid 0)
   std::unordered_map<NodeId, std::unique_ptr<RtSlave>> slaves_;
   /// Failure-detector state per node; all Alive when detection is off.
   std::unordered_map<NodeId, NodeState> health_;  // under mu_
-  /// Registry of bound-but-unsettled migrations: which (node, cycle) each
-  /// block is out at. The failure detector reclaims from it; settlement
-  /// reports that no longer match it are zombies and are dropped.
-  struct BoundRec {
-    core::BoundMigration m;
-    NodeId node;
-    std::uint64_t cycle = 1;
-  };
-  std::unordered_map<BlockId, BoundRec> bound_;  // under mu_
   obs::Counter* ctr_completed_ = nullptr;
   obs::Counter* ctr_cancelled_ = nullptr;
   obs::Counter* ctr_requeued_ = nullptr;

@@ -12,18 +12,19 @@ namespace dyrs::rt {
 RtSlave::Options RtSlave::resolve(Options options) {
   if (options.queue_capacity == 0) {
     // §III-B depth: block reads per heartbeat at the unloaded disk rate —
-    // the same heuristic the sim slave applies, via the shared policy.
+    // the same heuristic the sim slave applies, via the shared policy. A
+    // batching slave widens to hold two drain batches (see QueueDepthPolicy).
     const auto heartbeat = std::chrono::duration_cast<std::chrono::microseconds>(
         options.heartbeat_interval);
     const auto block_time = static_cast<SimDuration>(
         static_cast<double>(options.reference_block) / options.disk_bandwidth * 1e6);
-    options.queue_capacity =
-        options.queue_depth.depth_for(static_cast<SimDuration>(heartbeat.count()), block_time);
+    options.queue_capacity = options.queue_depth.depth_for(
+        static_cast<SimDuration>(heartbeat.count()), block_time, options.drain_batch);
   }
   return options;
 }
 
-RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
+RtSlave::RtSlave(Options options, std::function<void(std::vector<RtMigrationDone>)> on_complete,
                  std::function<std::vector<RtMigration>(NodeId, int)> pull,
                  std::function<void(NodeId, RtMigration)> on_failed)
     : options_(resolve(std::move(options))),
@@ -34,6 +35,8 @@ RtSlave::RtSlave(Options options, std::function<void(const RtMigrationDone&)> on
       on_complete_(std::move(on_complete)),
       pull_(std::move(pull)),
       on_failed_(std::move(on_failed)),
+      pull_latency_(options_.obs.histogram(
+          "node" + std::to_string(options_.node.value()) + ".rt.pull_us")),
       estimator_({.ewma_alpha = options_.ewma_alpha,
                   .reference_block = options_.reference_block,
                   .fallback_rate = options_.disk_bandwidth,
@@ -81,13 +84,33 @@ bool RtSlave::cancel(BlockId block) {
     std::lock_guard lock(mu_);
     if (active_block_ == block) {
       active_cancelled_.store(true, std::memory_order_relaxed);
+      // Mark the batch member too (no-op on the per-block cadence) so the
+      // post-drain flush skips it even if the read's final slice races.
+      for (std::size_t i = 0; i < batch_blocks_.size(); ++i) {
+        if (batch_blocks_[i] == block && batch_state_[i] == kBatchActive) {
+          batch_state_[i] = kBatchCancelled;
+        }
+      }
       found = true;
     } else {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->m.block == block) {
-          queue_.erase(it);
+      // A batch member that has not consumed its first token yet can still
+      // be cancelled individually; one that already finished its read
+      // (kBatchDone, completion pending flush) cannot — reporting it
+      // cancelled *and* completed would settle it twice at the master.
+      for (std::size_t i = 0; i < batch_blocks_.size(); ++i) {
+        if (batch_blocks_[i] == block && batch_state_[i] == kBatchQueued) {
+          batch_state_[i] = kBatchCancelled;
           found = true;
           break;
+        }
+      }
+      if (!found) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (it->m.block == block) {
+            queue_.erase(it);
+            found = true;
+            break;
+          }
         }
       }
     }
@@ -147,6 +170,8 @@ void RtSlave::crash() {
   queue_.clear();
   buffers_.clear();
   injected_failures_.clear();
+  batch_blocks_.clear();
+  batch_state_.clear();
   in_flight_bytes_ = 0;
   active_block_ = BlockId::invalid();
 }
@@ -232,6 +257,7 @@ void RtSlave::worker_loop(std::stop_token st) {
   while (!st.stop_requested()) {
     beat();
     RtMigration next{};
+    std::vector<RtMigration> batch;
     {
       std::unique_lock lock(mu_);
       if (crashed_) return;
@@ -239,7 +265,13 @@ void RtSlave::worker_loop(std::stop_token st) {
       const int space = options_.queue_capacity - static_cast<int>(queue_.size());
       if (space > 0) {
         lock.unlock();
+        const auto pull_started = std::chrono::steady_clock::now();
         auto pulled = pull_(options_.node, space);
+        if (pull_latency_) {
+          pull_latency_->add(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - pull_started)
+                                 .count());
+        }
         lock.lock();
         if (crashed_) return;
         for (auto& m : pulled) queue_.push_back(std::move(m));
@@ -252,13 +284,37 @@ void RtSlave::worker_loop(std::stop_token st) {
                      [&] { return poked_ || st.stop_requested(); });
         continue;
       }
-      next = std::move(queue_.front());
-      queue_.pop_front();
-      in_flight_bytes_ = next.m.size;
-      active_block_ = next.m.block;
-      active_cancelled_.store(false, std::memory_order_relaxed);
+      if (options_.drain_batch > 1) {
+        // Throughput cadence: drain up to a batch and read it as one
+        // token-bucket submission. Members stay individually cancellable
+        // through batch_blocks_/batch_state_.
+        const auto take = std::min<std::size_t>(
+            static_cast<std::size_t>(options_.drain_batch), queue_.size());
+        batch.reserve(take);
+        Bytes total = 0;
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          batch_blocks_.push_back(batch.back().m.block);
+          batch_state_.push_back(kBatchQueued);
+          total += batch.back().m.size;
+        }
+        in_flight_bytes_ = total;
+        active_block_ = BlockId::invalid();
+        active_cancelled_.store(false, std::memory_order_relaxed);
+      } else {
+        next = std::move(queue_.front());
+        queue_.pop_front();
+        in_flight_bytes_ = next.m.size;
+        active_block_ = next.m.block;
+        active_cancelled_.store(false, std::memory_order_relaxed);
+      }
     }
-    run_migration(std::move(next), st);
+    if (!batch.empty()) {
+      drain_batch_run(std::move(batch), st);
+    } else {
+      run_migration(std::move(next), st);
+    }
   }
 }
 
@@ -315,7 +371,11 @@ void RtSlave::run_migration(RtMigration next, const std::stop_token& st) {
       done.duration_s = duration_s;
       done.cycle = next.cycle;
       done.jobs = next.m.jobs;
-      if (on_complete_) on_complete_(done);
+      if (on_complete_) {
+        std::vector<RtMigrationDone> report;
+        report.push_back(std::move(done));
+        on_complete_(std::move(report));
+      }
       return;
     }
 
@@ -352,6 +412,133 @@ void RtSlave::run_migration(RtMigration next, const std::stop_token& st) {
         return;
       }
     }
+  }
+}
+
+void RtSlave::drain_batch_run(std::vector<RtMigration> batch, const std::stop_token& st) {
+  const std::size_t n = batch.size();
+  std::vector<Bytes> sizes(n);
+  for (std::size_t i = 0; i < n; ++i) sizes[i] = batch[i].m.size;
+  std::vector<double> durations(n, 0.0);
+
+  disk_.read_batch(
+      sizes, /*aborted=*/[&st] { return st.stop_requested(); },
+      // Beat every disk slice: a long batch must not look like a dead node.
+      /*on_slice=*/[this] { beat(); },
+      /*on_start=*/
+      [&](std::size_t i) {
+        {
+          std::lock_guard lock(mu_);
+          if (batch_state_[i] == kBatchCancelled) return false;
+          batch_state_[i] = kBatchActive;
+          active_block_ = batch[i].m.block;
+          active_cancelled_.store(false, std::memory_order_relaxed);
+        }
+        emit_cycle_ = batch[i].cycle;
+        emitter_.transfer_start(now_us(), batch[i].m.block, options_.node, batch[i].m.size,
+                                batch[i].m.attempts + 1);
+        return true;
+      },
+      /*item_cancelled=*/
+      [this] { return active_cancelled_.load(std::memory_order_relaxed); },
+      /*on_done=*/
+      [&](std::size_t i, double service_s) {
+        std::lock_guard lock(mu_);
+        // Same double-settle protection as the per-block path: a cancel
+        // that raced the final slice already returned true to the caller,
+        // so the member must settle as cancelled, not completed.
+        if (active_cancelled_.load(std::memory_order_relaxed) ||
+            batch_state_[i] == kBatchCancelled) {
+          batch_state_[i] = kBatchCancelled;
+        } else {
+          batch_state_[i] = kBatchDone;
+          durations[i] = service_s;
+        }
+        active_block_ = BlockId::invalid();
+      });
+
+  std::vector<RtMigrationDone> dones;
+  std::vector<RtMigration> faulted;
+  {
+    std::lock_guard lock(mu_);
+    if (crashed_) return;  // crash() already cleared the batch bookkeeping
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch_state_[i] != kBatchDone) continue;  // cancelled or abandoned
+      const BlockId block = batch[i].m.block;
+      if (consume_injected_failure_locked(block) ||
+          (read_fault_hook_ && read_fault_hook_(block))) {
+        faulted.push_back(std::move(batch[i]));
+        continue;
+      }
+      estimator_.on_complete(batch[i].m.size, durations[i]);
+      if (!batch[i].m.jobs.empty()) {
+        Buffered buf;
+        buf.bytes.resize(static_cast<std::size_t>(batch[i].m.size));
+        buf.refs = batch[i].m.jobs;
+        buffers_.insert_or_assign(block, std::move(buf));
+      }
+      ++completed_;
+      RtMigrationDone done;
+      done.block = block;
+      done.node = options_.node;
+      done.size = batch[i].m.size;
+      done.duration_s = durations[i];
+      done.cycle = batch[i].cycle;
+      done.jobs = batch[i].m.jobs;
+      dones.push_back(std::move(done));
+    }
+    batch_blocks_.clear();
+    batch_state_.clear();
+    in_flight_bytes_ = 0;
+    active_block_ = BlockId::invalid();
+  }
+
+  // One coalesced report for the whole drain cycle.
+  if (!dones.empty() && on_complete_) on_complete_(std::move(dones));
+
+  // Members that surfaced a transient fault leave the batch and retry on
+  // the classic per-block path, reproducing the reference event sequence
+  // (transfer_retry, backoff, fresh transfer_start) exactly. They retry
+  // sequentially, so — as on the per-block cadence — at most one migration
+  // is in the transfer phase and findable by cancel() at a time.
+  for (RtMigration& f : faulted) {
+    if (st.stop_requested()) return;
+    ++f.m.attempts;
+    if (options_.retry.exhausted(f.m.attempts)) {
+      {
+        std::lock_guard lock(mu_);
+        if (crashed_) return;
+        ++permanent_failures_;
+      }
+      emit_cycle_ = f.cycle;
+      emitter_.transfer_failed(now_us(), f.m.block, options_.node, f.m.attempts);
+      if (on_failed_) on_failed_(options_.node, std::move(f));
+      continue;
+    }
+    const SimDuration delay = options_.retry.backoff_for(f.m.attempts);
+    {
+      std::lock_guard lock(mu_);
+      if (crashed_) return;
+      ++retries_;
+      in_flight_bytes_ = f.m.size;
+      active_block_ = f.m.block;
+      active_cancelled_.store(false, std::memory_order_relaxed);
+    }
+    emit_cycle_ = f.cycle;
+    emitter_.transfer_retry(now_us(), f.m.block, options_.node, f.m.attempts, delay);
+    bool settled = false;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(delay), [&] {
+        return st.stop_requested() || active_cancelled_.load(std::memory_order_relaxed);
+      });
+      if (st.stop_requested() || active_cancelled_.load(std::memory_order_relaxed)) {
+        in_flight_bytes_ = 0;
+        active_block_ = BlockId::invalid();
+        settled = true;  // cancelled/stopped mid-backoff
+      }
+    }
+    if (!settled) run_migration(std::move(f), st);
   }
 }
 

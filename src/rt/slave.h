@@ -15,6 +15,15 @@
 // migration back to the master via `on_failed`, which requeues it with
 // this node on the avoid list.
 //
+// With `drain_batch > 1` the worker switches to a throughput cadence: it
+// drains up to a batch of queued migrations per cycle, submits their reads
+// to the token bucket together (ThrottledDisk::read_batch — sleeps
+// amortized across the batch, completions as tokens arrive), and reports
+// one coalesced `on_complete` vector per cycle instead of one callback per
+// block. Cancellation, injected faults and crashes act on individual batch
+// members; per-block trace emission is unchanged, so merged span sequences
+// are identical to the per-block cadence.
+//
 // The slave also exposes the rt failure surface: the worker publishes a
 // wall-clock heartbeat every loop iteration and every disk slice;
 // partitions silence it, crash() tears the worker down abandoning
@@ -77,6 +86,13 @@ class RtSlave {
     /// Shared depth policy, forwarded by RtMaster from its
     /// ControlPlaneConfig when `queue_capacity` is 0.
     core::QueueDepthPolicy queue_depth;
+    /// Migrations drained (and read) per worker cycle. <= 1 keeps the
+    /// per-block reference cadence; larger values batch the reads behind
+    /// the token bucket and coalesce their completion reports. Forwarded
+    /// by RtMaster from its ExchangeConfig. A derived queue capacity
+    /// (`queue_capacity == 0`) widens to hold two batches so the disk
+    /// never idles between batched pulls.
+    int drain_batch = 1;
     /// How often the worker publishes a wall-clock heartbeat (also the
     /// pull cadence the derived queue depth assumes).
     std::chrono::milliseconds heartbeat_interval{25};
@@ -95,10 +111,13 @@ class RtSlave {
   };
 
   /// `on_complete` and `on_failed` run on the slave's worker thread.
+  /// `on_complete` receives every settlement the current drain cycle
+  /// produced — a single-element vector on the per-block cadence
+  /// (`drain_batch <= 1`), up to `drain_batch` elements when batching.
   /// `pull` is invoked (also on the worker thread) whenever there is queue
   /// space; it should return the migrations the master binds to this slave.
   /// `on_failed` reports a migration that exhausted the retry budget.
-  RtSlave(Options options, std::function<void(const RtMigrationDone&)> on_complete,
+  RtSlave(Options options, std::function<void(std::vector<RtMigrationDone>)> on_complete,
           std::function<std::vector<RtMigration>(NodeId, int)> pull,
           std::function<void(NodeId, RtMigration)> on_failed = nullptr);
   ~RtSlave();
@@ -187,10 +206,24 @@ class RtSlave {
   /// 0 — resolved before the worker starts, so no synchronization needed.
   static Options resolve(Options options);
 
+  /// Per-member state of the batch currently being read, guarded by mu_ so
+  /// cancel() can act on individual members mid-batch.
+  enum BatchState : std::uint8_t {
+    kBatchQueued = 0,     // waiting for its first token
+    kBatchActive = 1,     // consuming tokens now
+    kBatchDone = 2,       // read finished; completion pending flush
+    kBatchCancelled = 3,  // cancelled before or during its read
+  };
+
   void worker_loop(std::stop_token st);
   /// Runs one migration to settlement: read, retry-with-backoff loop,
   /// completion/failure/cancel. Returns on the worker thread.
   void run_migration(RtMigration next, const std::stop_token& st);
+  /// Batched cadence: submits the whole drain cycle's reads to the token
+  /// bucket together, then flushes one coalesced completion report.
+  /// Members that surface transient read faults fall back to the classic
+  /// per-block retry path after the flush.
+  void drain_batch_run(std::vector<RtMigration> batch, const std::stop_token& st);
   bool consume_injected_failure_locked(BlockId block);
   /// Publishes a heartbeat unless partitioned.
   void beat();
@@ -200,15 +233,22 @@ class RtSlave {
   Options options_;
   const std::chrono::steady_clock::time_point epoch_;
   ThrottledDisk disk_;
-  std::function<void(const RtMigrationDone&)> on_complete_;
+  std::function<void(std::vector<RtMigrationDone>)> on_complete_;
   std::function<std::vector<RtMigration>(NodeId, int)> pull_;
   std::function<void(NodeId, RtMigration)> on_failed_;
+  /// Wall-clock latency of each master pull, recorded by the worker thread
+  /// only (histograms are single-writer); null when metrics are off.
+  obs::Histogram* pull_latency_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<RtMigration> queue_;
   Bytes in_flight_bytes_ = 0;
   BlockId active_block_ = BlockId::invalid();
+  /// Blocks and per-member state of the batch being read (empty outside a
+  /// drain cycle); parallel vectors, under mu_.
+  std::vector<BlockId> batch_blocks_;
+  std::vector<std::uint8_t> batch_state_;
   std::atomic<bool> active_cancelled_{false};
   core::MigrationEstimator estimator_;
   std::unordered_map<BlockId, Buffered> buffers_;

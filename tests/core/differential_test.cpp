@@ -98,7 +98,8 @@ Outcome sim_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>
 
 Outcome rt_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>>& jobs,
            int num_nodes = kNodes, int replication = 2, bool heterogeneous = true,
-           core::RetargetConfig retarget = {}) {
+           core::RetargetConfig retarget = {},
+           rt::RtMaster::Options::ExchangeConfig exchange = {}) {
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   obs::ThreadLocalBufferSink sink;
@@ -116,6 +117,7 @@ Outcome rt_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>>
   options.retarget_interval = 60s;  // only migrate()'s pass assigns targets
   options.ordering = ordering;
   options.retarget = retarget;
+  options.exchange = exchange;
   options.obs = obs::ObsContext(&registry, &tracer);
   rt::RtMaster master(std::move(options));
 
@@ -222,6 +224,26 @@ TEST(Differential, IncrementalRetargetMatchesReferenceOnBothBackends) {
   EXPECT_EQ(rt_ref.bindings, rt_inc.bindings);
   EXPECT_EQ(sim_ref.bindings, rt_inc.bindings);
   check_traces(sim_inc, rt_inc);
+}
+
+// The sharded/batched exchange engine only changes how settlements are
+// synchronized, never what binds where: sim, reference rt and sharded rt
+// must produce one binding projection.
+TEST(Differential, ShardedExchangeBindsIdenticallyToSim) {
+  const std::vector<std::pair<JobId, int>> jobs = {{JobId(1), 16}};
+  rt::RtMaster::Options::ExchangeConfig sharded;
+  sharded.mode = rt::RtMaster::Options::ExchangeConfig::Mode::Sharded;
+  sharded.shards = 8;
+  sharded.drain_batch = 4;
+
+  const Outcome sim_out = sim_run(core::Ordering::Fifo, jobs);
+  const Outcome rt_ref = rt_run(core::Ordering::Fifo, jobs);
+  const Outcome rt_shd = rt_run(core::Ordering::Fifo, jobs, kNodes, 2, true, {}, sharded);
+
+  ASSERT_FALSE(sim_out.bindings.empty());
+  EXPECT_EQ(sim_out.bindings, rt_shd.bindings);
+  EXPECT_EQ(rt_ref.bindings, rt_shd.bindings);
+  check_traces(sim_out, rt_shd);
 }
 
 // SJF forces the incremental engine's full-sweep fallback (global job

@@ -304,6 +304,89 @@ TEST(RtFaults, PermanentIoErrorsNeverRebindToAvoidedReplica) {
   }
 }
 
+// Zombie suppression with *batched* completions: a partitioned slave
+// finishes a whole drain batch and flushes one coalesced report after its
+// bindings were reclaimed. Suppression is keyed on each batch member's
+// (block, node, cycle) — never on the batch — so all four members drop
+// individually and nothing settles twice or leaks into the counters.
+TEST(RtFaults, BatchedZombieCompletionsSuppressedPerMember) {
+  constexpr int kBacklog = 64;
+
+  RtMaster::Options options;
+  auto busy = slave_opts(0, mib_per_sec(64));
+  auto victim = slave_opts(1, mib_per_sec(64));
+  busy.queue_capacity = 4;
+  victim.queue_capacity = 4;
+  options.slaves = {busy, victim};
+  options.retarget_interval = 10ms;
+  options.exchange = {.mode = RtMaster::Options::ExchangeConfig::Mode::Sharded,
+                      .shards = 8,
+                      .drain_batch = 4};
+  // Wider windows than fast_detection(): under TSan the 150ms dead window
+  // false-positives on the *busy* node (a retarget pass holding mu_ can
+  // stall its pull — and so its worker-loop heartbeat — for >150ms at
+  // sanitizer speed), which would requeue the dual blocks with node 0 on
+  // the avoid list too and abort them untargetable. 500ms still declares
+  // the victim dead well before its ~1s batch flush, which is the only
+  // ordering this test needs.
+  options.failure_detection = fast_detection();
+  options.failure_detection.suspect_after = 200ms;
+  options.failure_detection.declare_dead_after = 500ms;
+  RtMaster master(std::move(options));
+
+  // Node 0 carries a 64MiB single-replica backlog (~1s at 64MiB/s), so the
+  // earliest-finish pass sends every 16MiB block to the idle node 1 — even
+  // the fourth (cumulative 1.0s vs 1.25s behind the backlog). Node 1 pulls
+  // all four at once and reads them as ONE drain batch (~1s), flushing one
+  // coalesced completion report at the end.
+  std::vector<RtBlock> blocks;
+  for (int i = 0; i < kBacklog; ++i) {
+    blocks.push_back({BlockId(i), mib(1), {NodeId(0)}, JobId(1)});
+  }
+  blocks.push_back({BlockId(600), mib(16), {NodeId(1)}, JobId(2)});  // single replica
+  for (int i = 1; i < 4; ++i) {
+    blocks.push_back({BlockId(600 + i), mib(16), {NodeId(1), NodeId(0)}, JobId(2)});
+  }
+
+  // Partition node 1 at 40ms — long before its ~1s batch finishes — and
+  // heal at 1.5s. The detector reclaims all four bindings at ~550ms:
+  // block 600 (only replica is the dead node) aborts untargetable, the
+  // three dual blocks requeue to node 0 with node 1 on the avoid list.
+  faults::RtFaultInjector injector(master, /*seed=*/11);
+  faults::FaultPlan plan;
+  plan.partition(NodeId(1), milliseconds(40), milliseconds(1500));
+  injector.install(plan);
+
+  master.migrate(blocks);
+  ASSERT_TRUE(wait_state(master, NodeId(1), RtMaster::NodeState::Dead, 5000ms));
+  EXPECT_TRUE(master.slave(NodeId(1)).running());  // zombie: alive, unreachable
+
+  ASSERT_TRUE(master.wait_idle(60s));
+  // The zombie's local reads all finish (the partition only silences
+  // heartbeats); poll until its flush lands so the suppression below is
+  // actually exercised, not raced past.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (master.slave(NodeId(1)).completed() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(master.slave(NodeId(1)).completed(), 4);
+
+  // Exactly-once settlement: backlog + the three requeued dual blocks, all
+  // owned by node 0; every one of the four batched zombie reports dropped.
+  EXPECT_EQ(master.completed(), kBacklog + 3);
+  EXPECT_EQ(master.completed_per_node()[NodeId(0)], kBacklog + 3);
+  EXPECT_EQ(master.completed_per_node()[NodeId(1)], 0);
+  EXPECT_GE(master.requeued(), 3);
+  EXPECT_EQ(master.pending(), 0u);  // block 600 aborted, not hung
+  const auto per_job = master.completed_per_job();
+  EXPECT_EQ(per_job.at(JobId(1)), kBacklog);
+  EXPECT_EQ(per_job.at(JobId(2)), 3);
+
+  ASSERT_TRUE(injector.wait_done(10000ms));
+  ASSERT_TRUE(wait_state(master, NodeId(1), RtMaster::NodeState::Alive, 5000ms));
+}
+
 TEST(RtFaults, DetectionDisabledReportsAlive) {
   RtMaster master({.slaves = {slave_opts(0, mib_per_sec(100))}, .retarget_interval = 2ms});
   master.slave(NodeId(0)).crash();

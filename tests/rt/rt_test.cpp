@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -361,6 +362,48 @@ TEST(RtTrace, DeterministicPerBlockOrder) {
   EXPECT_EQ(run1.at(103), "mig_enqueue mig_abort");
   EXPECT_EQ(run1.at(0),
             "mig_enqueue mig_target@0 mig_bind@0 mig_transfer_start@0 mig_complete@0");
+}
+
+TEST(RtMaster, AccessorPollingDoesNotStallOnMasterLock) {
+  // Regression: completed()/completed_per_node()/completed_per_job() used
+  // to copy whole maps under the master mutex. With 20k pending entries
+  // and a 1ms retarget interval, the reference Algorithm 1 sweep holds mu_
+  // almost continuously — accessor polls that contended on it would take
+  // milliseconds each. The sharded accessors snapshot lock-free counters
+  // and per-shard accounting, so 2000 polls stay well under the bound even
+  // while the sweep thread saturates the lock.
+  RtMaster::Options options;
+  options.slaves = {slave_opts(0, mib_per_sec(4)), slave_opts(1, mib_per_sec(4))};
+  options.retarget_interval = 1ms;
+  options.exchange = {.mode = RtMaster::Options::ExchangeConfig::Mode::Sharded,
+                      .shards = 8,
+                      .drain_batch = 8};
+  RtMaster master(std::move(options));
+  master.migrate(blocks_on_all(20000, 2));
+
+  const auto start = std::chrono::steady_clock::now();
+  long sink = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sink += master.completed();
+    for (const auto& [node, n] : master.completed_per_node()) sink += n;
+    for (const auto& [job, n] : master.completed_per_job()) sink += n;
+  }
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(sink, 0);
+  // Under TSan every access is instrumented; only assert the bound in
+  // uninstrumented builds where the timing claim is meaningful.
+#if defined(__SANITIZE_THREAD__)
+#define DYRS_RT_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DYRS_RT_TEST_TSAN 1
+#endif
+#endif
+#ifndef DYRS_RT_TEST_TSAN
+  EXPECT_LT(s, 2.0) << "accessor polls stalled on the master lock";
+#endif
+  master.shutdown();  // tear down without draining the backlog
 }
 
 TEST(RtTrace, SatisfiesRtInvariants) {
