@@ -39,7 +39,7 @@ int main() {
   std::jthread degrade([&] {
     std::this_thread::sleep_for(300ms);
     std::cout << "[wall 0.3s] node 2's disk degrades to 40MiB/s\n";
-    master.slave(NodeId(2)).disk().set_bandwidth(mib_per_sec(40));
+    master.slave(NodeId(2)).disk().set_nominal_bandwidth(mib_per_sec(40));
   });
 
   if (!master.wait_idle(60s)) {

@@ -90,7 +90,7 @@ std::vector<obs::TraceEvent> run_once(obs::ThreadLocalBufferSink& sink, bool sha
   // this stretches wall-clock interleavings without changing the schedule.
   std::jthread degrade([&master] {
     std::this_thread::sleep_for(5ms);
-    master.slave(NodeId(0)).disk().set_bandwidth(mib_per_sec(64));
+    master.slave(NodeId(0)).disk().set_nominal_bandwidth(mib_per_sec(64));
   });
   degrade.join();
 

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 
+#include "cluster/tier_store.h"
 #include "common/units.h"
 #include "sim/fair_share.h"
 
@@ -16,7 +18,7 @@ namespace dyrs::cluster {
 
 enum class IoClass { MigrationRead, TaskRead, Write, Interference };
 
-class Disk {
+class Disk final : public TierStore {
  public:
   struct Options {
     std::string name = "disk";
@@ -47,15 +49,18 @@ class Disk {
   int active_interference() const { return resource_.active_interference_flows(); }
 
   Rate bandwidth() const { return resource_.capacity(); }
-  void set_bandwidth(Rate bw) {
+  /// Reconfigures the device's nominal rate; any active degradation factor
+  /// keeps applying multiplicatively, so a fault-injection episode can
+  /// never clobber a reconfigured nominal rate (or vice versa).
+  void set_nominal_bandwidth(Rate bw) {
     nominal_ = bw;
     resource_.set_capacity(bw * degradation_);
   }
 
   /// Multiplicative bandwidth degradation episode (fault injection): the
   /// effective capacity becomes nominal * factor until restored with
-  /// factor 1.0. Kept separate from set_bandwidth so the nominal rate
-  /// survives the episode.
+  /// factor 1.0. Kept separate from set_nominal_bandwidth so the nominal
+  /// rate survives the episode.
   void set_degradation(double factor) {
     degradation_ = factor;
     resource_.set_capacity(nominal_ * factor);
@@ -66,6 +71,18 @@ class Disk {
   /// Unloaded sequential read time for `bytes` — sizing input for slave
   /// migration queues (paper §III-B).
   SimDuration unloaded_read_time(Bytes bytes) const { return resource_.unloaded_duration(bytes); }
+
+  // --- TierStore: the bottom (capacity-unbounded) tier -------------------
+  // Every replica already lives on disk, so "demoting to disk" reserves
+  // nothing: admit always succeeds and tracks no bytes.
+  Tier tier() const override { return Tier::Disk; }
+  Bytes capacity() const override { return std::numeric_limits<Bytes>::max(); }
+  Bytes used() const override { return 0; }
+  bool admit(Bytes) override { return true; }
+  void release(Bytes) override {}
+  double read_seconds(Bytes bytes) const override {
+    return to_seconds(resource_.unloaded_duration(bytes));
+  }
 
   double busy_seconds() const { return resource_.busy_seconds(); }
   double bytes_by_class(IoClass c) const { return bytes_by_class_[static_cast<int>(c)]; }

@@ -9,6 +9,7 @@
 
 #include <functional>
 
+#include "cluster/tier_store.h"
 #include "common/check.h"
 #include "common/timeseries.h"
 #include "common/units.h"
@@ -16,7 +17,7 @@
 
 namespace dyrs::cluster {
 
-class Memory {
+class Memory final : public TierStore {
  public:
   struct Options {
     Bytes capacity = gib(128);
@@ -25,9 +26,17 @@ class Memory {
 
   Memory(sim::Simulator& sim, Options opts) : sim_(sim), opts_(opts) {}
 
-  Bytes capacity() const { return opts_.capacity; }
+  Bytes capacity() const override { return opts_.capacity; }
   Bytes pinned() const { return pinned_; }
-  Bytes available() const { return opts_.capacity - pinned_; }
+
+  // --- TierStore: the top (fastest, scarcest) tier -----------------------
+  Tier tier() const override { return Tier::Memory; }
+  Bytes used() const override { return pinned_; }
+  bool admit(Bytes bytes) override { return pin(bytes); }
+  void release(Bytes bytes) override { unpin(bytes); }
+  double read_seconds(Bytes bytes) const override {
+    return static_cast<double>(bytes) / opts_.read_bandwidth;
+  }
 
   /// Attempts to pin `bytes` (mmap+mlock). Returns false if it would exceed
   /// capacity; the caller (buffer manager) queues the migration instead.

@@ -23,11 +23,14 @@
 #include <vector>
 
 #include "core/binding.h"
+#include "core/failure_detection.h"
 #include "core/lifecycle.h"
 #include "core/pending_queue.h"
 #include "core/queue_depth.h"
 #include "core/replica_selector.h"
 #include "core/retarget_index.h"
+#include "core/retry_policy.h"
+#include "core/tier_policy.h"
 #include "core/types.h"
 
 namespace dyrs::core {
@@ -51,6 +54,19 @@ struct ControlPlaneConfig {
   /// binds more than a slave's advertised free slots; both backend drivers
   /// derive those slots from this shared policy.
   QueueDepthPolicy queue_depth;
+  /// Slave-local retry budget for transient read failures. Like
+  /// queue_depth, both backend drivers forward it to slaves that left
+  /// their own retry at the default — one knob drives both.
+  RetryPolicy retry;
+  /// Failure-detector cadence (heartbeat age -> Suspect -> Dead). The rt
+  /// master's monitor thread applies it directly; the sim backend's
+  /// equivalent windows ride on the dfs heartbeat machinery.
+  FailureDetection failure_detection;
+  /// Storage-tier admission policy (admit tier, watermark pair, pressure
+  /// response). Both backend buffer managers evaluate it with the same
+  /// core::BufferManager code, so tier decisions are identical across
+  /// backends given the same admission sequence.
+  TierPolicy tier;
 };
 
 class ControlPlane {

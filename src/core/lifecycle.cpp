@@ -121,4 +121,16 @@ void LifecycleEmitter::requeue(SimTime at, BlockId block, NodeId avoid) {
   emit(e, block, kRankEnqueue);
 }
 
+void LifecycleEmitter::demote(SimTime at, BlockId block, NodeId node, Tier from, Tier to,
+                              Bytes size) {
+  if (!tracing()) return;
+  obs::TraceEvent e(at, "mig_demote");
+  e.with("block", block.value())
+      .with("node", node.value())
+      .with("from", std::string(to_string(from)))
+      .with("to", std::string(to_string(to)))
+      .with("size", static_cast<std::int64_t>(size));
+  emit(e, block, kRankDemote);
+}
+
 }  // namespace dyrs::core

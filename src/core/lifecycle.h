@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/tier.h"
 #include "core/types.h"
 #include "obs/obs_context.h"
 #include "obs/trace.h"
@@ -34,6 +35,10 @@ inline constexpr int kRankBind = 3;
 inline constexpr int kRankTransfer = 4;
 inline constexpr int kRankRetry = 5;  // historic; retries now use kRankTransfer
 inline constexpr int kRankTerminal = 6;
+// Demotions happen strictly after the owning cycle's mig_complete (a block
+// must be resident before pressure can push it down), so they take the rank
+// above terminal within the cycle that evicted them.
+inline constexpr int kRankDemote = 7;
 
 /// One settled migration inside a coalesced completion report. `cycle` is
 /// a backend cookie (the rt migration cycle): it is never emitted as a
@@ -79,6 +84,9 @@ class LifecycleEmitter {
                       const std::function<void(const CompletionRecord&)>& before_each = nullptr);
   void abort(const CancelRecord& rec);
   void requeue(SimTime at, BlockId block, NodeId avoid);
+  /// `mig_demote`: capacity pressure moved a buffered block down a tier
+  /// (memory -> ssd keeps it served from the node; ssd -> disk evicts it).
+  void demote(SimTime at, BlockId block, NodeId node, Tier from, Tier to, Bytes size);
 
  private:
   void emit(obs::TraceEvent& e, BlockId block, int rank);

@@ -4,34 +4,98 @@
 
 namespace dyrs::core {
 
-BufferManager::BufferManager(cluster::Memory& memory, Bytes limit)
-    : memory_(memory), limit_(limit > 0 ? limit : memory.capacity()) {
+BufferManager::BufferManager(cluster::TierStore& memory, Bytes limit)
+    : BufferManager(memory, nullptr, {}, limit) {}
+
+BufferManager::BufferManager(cluster::TierStore& memory, cluster::TierStore* ssd,
+                             TierPolicy policy, Bytes limit)
+    : memory_(memory),
+      ssd_(ssd),
+      policy_(policy),
+      limit_(limit > 0 ? limit : memory.capacity()) {
   DYRS_CHECK(limit_ > 0);
+  DYRS_CHECK_MSG(policy_.admit_tier != Tier::Disk,
+                 "admit tier must be a buffered tier (memory or ssd)");
+  DYRS_CHECK_MSG(policy_.admit_tier != Tier::Ssd || ssd_ != nullptr,
+                 "ssd admission needs an ssd tier store");
+  DYRS_CHECK(policy_.low_watermark <= policy_.high_watermark);
 }
 
 bool BufferManager::try_add(BlockId block, Bytes size,
-                            const std::map<JobId, EvictionMode>& jobs) {
+                            const std::map<JobId, EvictionMode>& jobs,
+                            std::vector<Demotion>* demotions, std::uint64_t cookie) {
   DYRS_CHECK_MSG(!contains(block), "block " << block << " already buffered");
   DYRS_CHECK(size > 0);
   DYRS_CHECK_MSG(!jobs.empty(), "a buffered block needs at least one referencing job");
-  if (used_ + size > limit_) return false;
-  if (!memory_.pin(size)) return false;
-  used_ += size;
+  std::vector<Demotion> local;
+  std::vector<Demotion>& out = demotions ? *demotions : local;
+
   Buffered buf;
   buf.size = size;
   buf.refs = jobs;
+  buf.cookie = cookie;
+  buf.tier = policy_.admit_tier;
+
+  if (policy_.admit_tier == Tier::Memory) {
+    if (size > limit_) return false;  // can never fit; don't demote for it
+    if (policy_.on_pressure == TierPolicy::OnPressure::EvictColdFirst) {
+      while (used_ + size > limit_ && demote_one(block, out)) {
+      }
+    }
+    if (used_ + size > limit_) return false;
+    if (!memory_.admit(size)) return false;
+    used_ += size;
+    buf.segment = Segment::Probation;
+    probation_.push_front(block);
+    buf.where = probation_.begin();
+  } else {
+    bool ok = false;
+    if (policy_.on_pressure == TierPolicy::OnPressure::EvictColdFirst) {
+      ok = admit_ssd(size, out);
+    } else if (ssd_->admit(size)) {
+      ssd_used_ += size;
+      ok = true;
+    }
+    if (!ok) return false;
+    buf.segment = Segment::Ssd;
+    ssd_lru_.push_front(block);
+    buf.where = ssd_lru_.begin();
+  }
+
   blocks_.emplace(block, std::move(buf));
   for (const auto& [job, mode] : jobs) job_blocks_[job].insert(block);
+  tier_log_.push_back({block, Tier::Disk, policy_.admit_tier});
+
+  // Watermark pass: crossing the high mark drains memory down to the low
+  // mark by demoting cold blocks — never the block just admitted.
+  if (policy_.admit_tier == Tier::Memory && policy_.watermarks_enabled() &&
+      static_cast<double>(used_) >=
+          policy_.high_watermark * static_cast<double>(limit_)) {
+    const double low = policy_.low_watermark * static_cast<double>(limit_);
+    while (static_cast<double>(used_) > low && demote_one(block, out)) {
+    }
+  }
   return true;
 }
 
 void BufferManager::add_refs(BlockId block, const std::map<JobId, EvictionMode>& jobs) {
   auto it = blocks_.find(block);
   DYRS_CHECK_MSG(it != blocks_.end(), "block " << block << " not buffered");
+  touch(block, it->second);
   for (const auto& [job, mode] : jobs) {
     it->second.refs[job] = mode;
     job_blocks_[job].insert(block);
   }
+}
+
+void BufferManager::mark_resident(BlockId block) {
+  // The reservation may already be gone: an implicit read or a job release
+  // can race an in-flight migration and evict the unreferenced reservation
+  // before the data lands. Marking it then is a no-op, as in the pre-tier
+  // code where completion never touched the buffer bookkeeping.
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;
+  it->second.resident = true;
 }
 
 bool BufferManager::over_threshold(double fraction) const {
@@ -39,12 +103,51 @@ bool BufferManager::over_threshold(double fraction) const {
   return static_cast<double>(used_) >= fraction * static_cast<double>(limit_);
 }
 
+Tier BufferManager::tier_of(BlockId block) const {
+  auto it = blocks_.find(block);
+  DYRS_CHECK_MSG(it != blocks_.end(), "block " << block << " not buffered");
+  return it->second.tier;
+}
+
+void BufferManager::unlink(Buffered& buf) {
+  switch (buf.segment) {
+    case Segment::Probation: probation_.erase(buf.where); break;
+    case Segment::Protected: protected_.erase(buf.where); break;
+    case Segment::Ssd: ssd_lru_.erase(buf.where); break;
+  }
+}
+
+void BufferManager::touch(BlockId block, Buffered& buf) {
+  unlink(buf);
+  if (buf.segment == Segment::Ssd) {
+    ssd_lru_.push_front(block);
+    buf.where = ssd_lru_.begin();
+  } else {
+    // SLRU promotion: any renewed demand moves the block to (the front of)
+    // the protected segment.
+    buf.segment = Segment::Protected;
+    protected_.push_front(block);
+    buf.where = protected_.begin();
+  }
+}
+
+void BufferManager::release_tier_bytes(const Buffered& buf) {
+  if (buf.tier == Tier::Memory) {
+    memory_.release(buf.size);
+    used_ -= buf.size;
+  } else {
+    DYRS_CHECK(ssd_ != nullptr);
+    ssd_->release(buf.size);
+    ssd_used_ -= buf.size;
+  }
+}
+
 void BufferManager::evict(BlockId block) {
   auto it = blocks_.find(block);
   DYRS_CHECK(it != blocks_.end());
   DYRS_CHECK_MSG(it->second.refs.empty(), "evicting block with live references");
-  memory_.unpin(it->second.size);
-  used_ -= it->second.size;
+  unlink(it->second);
+  release_tier_bytes(it->second);
   blocks_.erase(it);
 }
 
@@ -53,6 +156,80 @@ std::vector<BlockId> BufferManager::evict_if_unreferenced(BlockId block) {
   if (it == blocks_.end() || !it->second.refs.empty()) return {};
   evict(block);
   return {block};
+}
+
+BlockId BufferManager::pick_memory_victim(BlockId exclude) const {
+  // Coldest first: probation back (one-shot blocks), then protected back.
+  // Reservations (data still arriving) are never victims.
+  for (auto it = probation_.rbegin(); it != probation_.rend(); ++it) {
+    if (*it != exclude && blocks_.at(*it).resident) return *it;
+  }
+  for (auto it = protected_.rbegin(); it != protected_.rend(); ++it) {
+    if (*it != exclude && blocks_.at(*it).resident) return *it;
+  }
+  return BlockId::invalid();
+}
+
+bool BufferManager::admit_ssd(Bytes size, std::vector<Demotion>& out) {
+  if (!ssd_ || size > ssd_->capacity()) return false;
+  while (!ssd_->admit(size)) {
+    BlockId victim = BlockId::invalid();
+    for (auto it = ssd_lru_.rbegin(); it != ssd_lru_.rend(); ++it) {
+      if (blocks_.at(*it).resident) {
+        victim = *it;
+        break;
+      }
+    }
+    if (!victim.valid()) return false;
+    demote_to_disk(victim, out);
+  }
+  ssd_used_ += size;
+  return true;
+}
+
+bool BufferManager::demote_one(BlockId exclude, std::vector<Demotion>& out) {
+  const BlockId victim = pick_memory_victim(exclude);
+  if (!victim.valid()) return false;
+  Buffered& buf = blocks_.at(victim);
+  if (ssd_ && admit_ssd(buf.size, out)) {
+    unlink(buf);
+    memory_.release(buf.size);
+    used_ -= buf.size;
+    buf.tier = Tier::Ssd;
+    buf.segment = Segment::Ssd;
+    ssd_lru_.push_front(victim);
+    buf.where = ssd_lru_.begin();
+    out.push_back({victim, Tier::Memory, Tier::Ssd, buf.size, buf.cookie});
+    tier_log_.push_back({victim, Tier::Memory, Tier::Ssd});
+  } else {
+    // No SSD (or it cannot fit the victim even after its own evictions):
+    // fall straight off the bottom of the hierarchy.
+    demote_to_disk(victim, out);
+  }
+  return true;
+}
+
+void BufferManager::demote_to_disk(BlockId block, std::vector<Demotion>& out) {
+  auto it = blocks_.find(block);
+  DYRS_CHECK(it != blocks_.end());
+  Buffered& buf = it->second;
+  out.push_back({block, buf.tier, Tier::Disk, buf.size, buf.cookie});
+  tier_log_.push_back({block, buf.tier, Tier::Disk});
+  drop_refs(block, buf);
+  unlink(buf);
+  release_tier_bytes(buf);
+  blocks_.erase(it);
+}
+
+void BufferManager::drop_refs(BlockId block, Buffered& buf) {
+  for (const auto& [job, mode] : buf.refs) {
+    auto jit = job_blocks_.find(job);
+    if (jit != job_blocks_.end()) {
+      jit->second.erase(block);
+      if (jit->second.empty()) job_blocks_.erase(jit);
+    }
+  }
+  buf.refs.clear();
 }
 
 std::vector<BlockId> BufferManager::release_job(JobId job) {
@@ -74,6 +251,7 @@ std::vector<BlockId> BufferManager::release_job(JobId job) {
 std::vector<BlockId> BufferManager::on_block_read(BlockId block, JobId job) {
   auto it = blocks_.find(block);
   if (it == blocks_.end()) return {};
+  touch(block, it->second);
   auto ref = it->second.refs.find(job);
   if (ref == it->second.refs.end() || ref->second != EvictionMode::Implicit) return {};
   it->second.refs.erase(ref);
@@ -104,14 +282,7 @@ std::vector<BlockId> BufferManager::scavenge(const std::function<bool(JobId)>& i
 void BufferManager::force_evict(BlockId block) {
   auto it = blocks_.find(block);
   if (it == blocks_.end()) return;
-  for (const auto& [job, mode] : it->second.refs) {
-    auto jit = job_blocks_.find(job);
-    if (jit != job_blocks_.end()) {
-      jit->second.erase(block);
-      if (jit->second.empty()) job_blocks_.erase(jit);
-    }
-  }
-  it->second.refs.clear();
+  drop_refs(block, it->second);
   evict(block);
 }
 
@@ -120,11 +291,20 @@ std::vector<BlockId> BufferManager::clear_all() {
   had.reserve(blocks_.size());
   for (auto& [block, buf] : blocks_) {
     had.push_back(block);
-    memory_.unpin(buf.size);
+    if (buf.tier == Tier::Memory) {
+      memory_.release(buf.size);
+    } else {
+      DYRS_CHECK(ssd_ != nullptr);
+      ssd_->release(buf.size);
+    }
   }
   blocks_.clear();
   job_blocks_.clear();
+  probation_.clear();
+  protected_.clear();
+  ssd_lru_.clear();
   used_ = 0;
+  ssd_used_ = 0;
   return had;
 }
 

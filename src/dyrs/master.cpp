@@ -17,7 +17,12 @@ MigrationMaster::MigrationMaster(cluster::Cluster& cluster, dfs::NameNode& namen
                                 .ordering = config.ordering,
                                 .target_trace = ControlPlaneConfig::TargetTrace::AtRetarget,
                                 .retarget = config.retarget,
-                                .queue_depth = config.slave.queue_depth}) {
+                                .queue_depth = config.slave.queue_depth,
+                                .retry = config.slave.retry,
+                                .failure_detection = {},
+                                .tier = config.tier}) {
+  // One tier knob drives every slave's buffer manager.
+  config_.slave.tier = config_.tier;
   for (NodeId id : cluster_.node_ids()) {
     dfs::DataNode* dn = namenode_.datanode(id);
     MigrationSlave::Callbacks callbacks;

@@ -46,6 +46,10 @@ struct MasterConfig {
   SimDuration retarget_interval = milliseconds(500);
   /// Pass engine: reference full sweep or incremental RetargetIndex.
   RetargetConfig retarget;
+  /// Storage-tier admission policy, forwarded to every slave's buffer
+  /// manager (and mirrored into the control-plane config so both backends
+  /// declare tier knobs in one place).
+  TierPolicy tier;
   std::uint64_t seed = 99;
   SlaveConfig slave;
 };

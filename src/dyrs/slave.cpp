@@ -18,7 +18,8 @@ MigrationSlave::MigrationSlave(sim::Simulator& sim, dfs::DataNode& datanode,
                   .reference_block = config.reference_block,
                   .fallback_rate = datanode.node().disk().bandwidth(),
                   .overdue_correction = config.overdue_correction}),
-      buffers_(datanode.node().memory(), config.memory_limit) {
+      buffers_(datanode.node().memory(), &datanode.node().ssd(), config.tier,
+               config.memory_limit) {
   DYRS_CHECK(config_.heartbeat_interval > 0);
 }
 
@@ -136,10 +137,15 @@ void MigrationSlave::maybe_start() {
 }
 
 bool MigrationSlave::start_migration(BoundMigration m) {
-  // Reserve memory up front: mlock consumes pages as it reads. If the
-  // buffer is full, stall the queue until an eviction or a missed-read
+  // Reserve memory up front: mlock consumes pages as it reads. Under
+  // EvictColdFirst (or past the high watermark) the reservation may demote
+  // cold resident blocks downward; with the default refuse policy a full
+  // buffer stalls the queue until an eviction or a missed-read
   // cancellation makes room (§IV-A1).
-  if (!buffers_.try_add(m.block, m.size, m.jobs)) {
+  std::vector<BufferManager::Demotion> demoted;
+  const bool admitted = buffers_.try_add(m.block, m.size, m.jobs, &demoted);
+  process_demotions(demoted);
+  if (!admitted) {
     stalled_ = true;
     queue_.push_front(std::move(m));
     return false;
@@ -169,6 +175,7 @@ void MigrationSlave::finish_migration(BlockId block, SimTime finished) {
     return;
   }
   const Active& a = it->second;
+  buffers_.mark_resident(block);  // data fully arrived; demotable from now on
   const double duration_s = to_seconds(finished - a.started_at);
   estimator_.on_complete(a.m.size, duration_s);
 
@@ -256,9 +263,33 @@ void MigrationSlave::heartbeat() {
   if (job_active_query && buffers_.over_threshold(config_.scavenge_threshold)) {
     report_evicted(buffers_.scavenge(job_active_query));
   }
+  if (gauge_memory_used_ != nullptr) {
+    gauge_memory_used_->set(static_cast<double>(buffers_.used()));
+    gauge_ssd_used_->set(static_cast<double>(buffers_.ssd_used()));
+  }
   if (stalled_ || (!queue_.empty() && (!config_.serialize_migrations || active_.empty()))) {
     maybe_start();
   }
+}
+
+void MigrationSlave::process_demotions(const std::vector<BufferManager::Demotion>& demoted) {
+  if (demoted.empty()) return;
+  std::vector<BlockId> evicted;
+  for (const auto& d : demoted) {
+    ++demotions_;
+    if (ctr_demotions_ != nullptr) ctr_demotions_->inc();
+    emitter_.demote(sim_.now(), d.block, id(), d.from, d.to, d.size);
+    if (d.to == Tier::Disk) evicted.push_back(d.block);
+  }
+  if (gauge_memory_used_ != nullptr) {
+    gauge_memory_used_->set(static_cast<double>(buffers_.used()));
+    gauge_ssd_used_->set(static_cast<double>(buffers_.ssd_used()));
+  }
+  // Disk demotions fell off the hierarchy entirely: the master must
+  // unregister their replicas. Call the callback directly — demotions run
+  // inside an admission attempt, so no unstall kick (report_evicted's job)
+  // is needed or safe here.
+  if (!evicted.empty() && callbacks_.on_evicted) callbacks_.on_evicted(id(), evicted);
 }
 
 void MigrationSlave::report_evicted(const std::vector<BlockId>& evicted) {

@@ -20,6 +20,7 @@
 #include "core/lifecycle.h"
 #include "core/queue_depth.h"
 #include "core/retry_policy.h"
+#include "core/tier_policy.h"
 #include "core/types.h"
 #include "dfs/datanode.h"
 #include "dyrs/buffer_manager.h"
@@ -49,6 +50,11 @@ struct SlaveConfig {
   /// `retry.max_attempts` total tries the slave reports a permanent
   /// failure and the master re-targets the block at another replica.
   RetryPolicy retry;
+
+  /// Tier admission/eviction policy for the node's buffer manager — shared
+  /// with the rt backend via core::ControlPlaneConfig. Defaults preserve
+  /// the single-tier behaviour (admit to memory, refuse on pressure).
+  TierPolicy tier;
 };
 
 class MigrationSlave {
@@ -150,7 +156,14 @@ class MigrationSlave {
   void set_obs(const obs::ObsContext& obs) {
     obs_ = obs;
     emitter_ = LifecycleEmitter(obs);
+    const std::string prefix = "node" + std::to_string(id().value()) + ".tier.";
+    gauge_memory_used_ = obs.gauge(prefix + "memory.used_bytes");
+    gauge_ssd_used_ = obs.gauge(prefix + "ssd.used_bytes");
+    ctr_demotions_ = obs.counter("dyrs.migrations.demoted");
   }
+
+  /// Blocks demoted downward by capacity pressure (memory -> ssd -> disk).
+  long demotions() const { return demotions_; }
 
   // --- retry statistics -------------------------------------------------
   /// Migrations currently waiting out a retry backoff.
@@ -173,6 +186,9 @@ class MigrationSlave {
 
   void maybe_start();
   bool start_migration(BoundMigration m);
+  /// Emits mig_demote events, reports tier-bottom (disk) demotions as
+  /// evictions to the master, and refreshes the per-tier gauges.
+  void process_demotions(const std::vector<BufferManager::Demotion>& demoted);
   void finish_migration(BlockId block, SimTime finished);
   void fail_migration(BlockId block);
   void retry_now(BlockId block);
@@ -196,6 +212,10 @@ class MigrationSlave {
   long completed_ = 0;
   long retries_ = 0;
   long permanent_failures_ = 0;
+  long demotions_ = 0;
+  obs::Gauge* gauge_memory_used_ = nullptr;
+  obs::Gauge* gauge_ssd_used_ = nullptr;
+  obs::Counter* ctr_demotions_ = nullptr;
 };
 
 }  // namespace dyrs::core

@@ -93,13 +93,6 @@ void RtFaultInjector::install(const FaultPlan& plan) {
     });
   }
 
-  // Baseline bandwidths for degradation windows, captured before any
-  // window opens so stacked factors always scale the true base.
-  for (const FaultEvent& e : sorted.events) {
-    if (e.kind != FaultKind::DiskDegradation) continue;
-    base_bandwidth_.emplace(e.node, master_.slave(e.node).disk().bandwidth());
-  }
-
   timeline_ = std::jthread([this](std::stop_token st) { timeline(st); });
 }
 
@@ -190,7 +183,10 @@ void RtFaultInjector::apply(const Transition& t) {
       }
       double product = 1.0;
       for (double f : factors) product *= f;
-      master_.slave(e.node).disk().set_bandwidth(base_bandwidth_.at(e.node) * product);
+      // The degradation factor rides on the device separately from its
+      // nominal rate, so a concurrent reconfiguration of the nominal
+      // bandwidth is never clobbered by a fault window (or its restore).
+      master_.slave(e.node).disk().set_degradation(product);
       break;
     }
   }
@@ -217,7 +213,7 @@ void RtFaultInjector::stop() {
   for (auto& [node, factors] : degradations_) {
     if (!factors.empty()) {
       factors.clear();
-      master_.slave(node).disk().set_bandwidth(base_bandwidth_.at(node));
+      master_.slave(node).disk().set_degradation(1.0);
     }
   }
   for (auto& [node, nesting] : partitions_) {

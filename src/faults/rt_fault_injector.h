@@ -19,8 +19,10 @@
 //                      wall clock is inside [at, until); rolled on a
 //                      per-node seeded Rng, retried by the slave's local
 //                      retry policy.
-//  * DiskDegradation — ThrottledDisk::set_bandwidth scaled by `factor`
-//                      for the window; overlapping windows multiply.
+//  * DiskDegradation — ThrottledDisk::set_degradation with `factor` for
+//                      the window; overlapping windows multiply. The
+//                      device's nominal rate is untouched, so fault
+//                      windows compose with runtime reconfiguration.
 //
 // Applied transitions are recorded with their *planned* offsets, so two
 // runs of the same plan and seed yield identical traces even though wall
@@ -105,7 +107,6 @@ class RtFaultInjector final : public FaultSurface {
 
   std::vector<Transition> transitions_;
   std::unordered_map<NodeId, std::unique_ptr<IoState>> io_states_;
-  std::unordered_map<NodeId, Rate> base_bandwidth_;       // timeline thread only
   std::unordered_map<NodeId, std::vector<double>> degradations_;  // timeline thread only
   std::unordered_map<NodeId, int> partitions_;            // nesting; timeline thread only
   std::atomic<long> io_errors_injected_{0};

@@ -432,6 +432,31 @@ InvariantReport TraceInvariants::check(const TraceReader& reader) const {
         st.enqueued_at = -1;
         st.bound_node = NodeId::invalid();
       }
+    } else if (e.type == "mig_demote") {
+      // Demotions act on settled data outside the migration lifecycle: the
+      // block must have completed on this node, and the move must go
+      // strictly downward through known tiers.
+      ++report.demotions;
+      const auto tier_rank = [](const std::string& t) {
+        if (t == "memory") return 2;
+        if (t == "ssd") return 1;
+        if (t == "disk") return 0;
+        return -1;
+      };
+      const int from = tier_rank(e.str("from"));
+      const int to = tier_rank(e.str("to"));
+      if (from < 0 || to < 0) {
+        violate("demote", i, e,
+                "unknown tier in demote: from=" + e.str("from") + " to=" + e.str("to"));
+      } else if (from <= to) {
+        violate("demote", i, e,
+                "demotion not downward: " + e.str("from") + " -> " + e.str("to"));
+      }
+      if (completed_on.count({block, node}) == 0) {
+        violate("demote", i, e,
+                "demote of block " + std::to_string(block) + " on node " +
+                    std::to_string(node) + " with no prior mig_complete there");
+      }
     } else if (e.type == "mig_requeue") {
       // Informational for the lifecycle rules (the fresh mig_enqueue
       // precedes it), but the policy oracle consumes its avoid node: the

@@ -20,6 +20,10 @@
 //                  after some `mig_complete` of that block on N. Skipped
 //                  for traces with no `mig_enqueue` (schemes that stage
 //                  memory replicas without the migration master).
+//  * demote      — a `mig_demote` acts on settled data: the block must have
+//                  a prior `mig_complete` on that node, and the move must
+//                  be strictly downward through known tiers (memory -> ssd,
+//                  ssd -> disk, or memory -> disk when the ssd is full).
 //
 // Tolerated, never flagged:
 //  * master failover wipes master soft state: open lifecycles at a
@@ -42,7 +46,7 @@
 namespace dyrs::obs {
 
 struct InvariantViolation {
-  std::string rule;    // terminal | queue-wait | order | live-bind | memory-read | policy
+  std::string rule;  // terminal | queue-wait | order | live-bind | memory-read | demote | policy
   std::string detail;  // human-readable description
   std::size_t event_index = 0;  // offending event's position in the trace
   SimTime at = -1;
@@ -60,6 +64,7 @@ struct InvariantReport {
   std::size_t abandoned_by_failover = 0; // open lifecycles wiped by failover
   std::size_t zombie_events = 0;         // tolerated events from zombie nodes
   std::size_t merged_enqueues = 0;       // multi-job demand joining open entries
+  std::size_t demotions = 0;             // mig_demote events the demote rule saw
   bool memory_read_rule_active = false;  // trace had migrations to check against
 
   bool ok() const { return violations.empty(); }

@@ -17,7 +17,10 @@ RtMaster::RtMaster(Options options)
           .ordering = options_.ordering,
           .target_trace = core::ControlPlaneConfig::TargetTrace::AtBind,
           .retarget = options_.retarget,
-          .queue_depth = options_.queue_depth}) {
+          .queue_depth = options_.queue_depth,
+          .retry = options_.retry,
+          .failure_detection = options_.failure_detection,
+          .tier = options_.tier}) {
   DYRS_CHECK(!options_.slaves.empty());
   // Settlement shards exist before any worker can pull; the vector is
   // never resized afterwards. Reference mode is a single shard that is
@@ -66,6 +69,12 @@ RtMaster::RtMaster(Options options)
       // The exchange knob drives every slave that did not set its own
       // drain-batch size.
       if (slave_opts.drain_batch <= 1) slave_opts.drain_batch = options_.exchange.drain_batch;
+      // Likewise for the shared retry and tier policies: the master-level
+      // knob drives every slave that kept the defaults, so one config line
+      // reconfigures the whole cluster like the sim backend's
+      // ControlPlaneConfig does.
+      if (slave_opts.retry == core::RetryPolicy{}) slave_opts.retry = options_.retry;
+      if (slave_opts.tier == core::TierPolicy{}) slave_opts.tier = options_.tier;
       auto slave = std::make_unique<RtSlave>(
           slave_opts,
           [this](std::vector<RtMigrationDone> dones) { on_complete_batch(std::move(dones)); },

@@ -104,13 +104,19 @@ class RtMaster {
     /// but-incomplete lifecycles (heartbeat-loss) and requeues the blocks
     /// through the control plane with the node on the avoid list; a node
     /// whose heartbeats resume rejoins the retargeter's eligible set.
-    struct FailureDetection {
-      bool enabled = false;
-      std::chrono::milliseconds monitor_interval{5};
-      std::chrono::milliseconds suspect_after{500};
-      std::chrono::milliseconds declare_dead_after{1500};
-    };
+    /// The knob struct itself lives in core (shared declaration surface
+    /// with the sim backend's ControlPlaneConfig); the alias keeps every
+    /// existing `RtMaster::Options::FailureDetection` spelling working.
+    using FailureDetection = core::FailureDetection;
     FailureDetection failure_detection;
+    /// Local retry budget for transient read failures, forwarded to every
+    /// slave whose options left `retry` at the defaults — the same shared
+    /// policy core the sim backend reads from its ControlPlaneConfig.
+    core::RetryPolicy retry;
+    /// Storage-tier admission/eviction policy, forwarded to every slave
+    /// whose options left `tier` at the defaults. Defaults preserve the
+    /// single-tier behaviour (admit to memory, refuse on pressure).
+    core::TierPolicy tier;
     /// Observability handle shared by the master and every slave. The
     /// atomic counters (rt.migrations.*, rt.retarget.passes, rt.pulls) are
     /// safe to bump from worker threads. Tracing additionally requires a

@@ -32,15 +32,26 @@ RtSlave::RtSlave(Options options, std::function<void(std::vector<RtMigrationDone
                  ? std::chrono::steady_clock::now()
                  : options_.trace_epoch),
       disk_(options_.disk_bandwidth),
+      ssd_(options_.ssd_bandwidth),
       on_complete_(std::move(on_complete)),
       pull_(std::move(pull)),
       on_failed_(std::move(on_failed)),
       pull_latency_(options_.obs.histogram(
           "node" + std::to_string(options_.node.value()) + ".rt.pull_us")),
+      gauge_memory_used_(options_.obs.gauge(
+          "node" + std::to_string(options_.node.value()) + ".tier.memory.used_bytes")),
+      gauge_ssd_used_(options_.obs.gauge(
+          "node" + std::to_string(options_.node.value()) + ".tier.ssd.used_bytes")),
+      ctr_demotions_(options_.obs.counter("dyrs.migrations.demoted")),
       estimator_({.ewma_alpha = options_.ewma_alpha,
                   .reference_block = options_.reference_block,
                   .fallback_rate = options_.disk_bandwidth,
                   .overdue_correction = true}),
+      mem_tier_(Tier::Memory, options_.memory_capacity, gib_per_sec(100)),
+      ssd_tier_(Tier::Ssd, options_.ssd_capacity, options_.ssd_bandwidth),
+      buffers_(mem_tier_, &ssd_tier_, options_.tier,
+               options_.memory_capacity == 0 ? mem_tier_.capacity()
+                                             : options_.memory_capacity),
       emitter_(options_.obs,
                [this](obs::TraceEvent& e, BlockId /*block*/, int rank) {
                  // Worker-thread merge key: lseq from the lifecycle's cycle,
@@ -121,11 +132,6 @@ bool RtSlave::cancel(BlockId block) {
   return found;
 }
 
-void RtSlave::inject_read_failures(BlockId block, int count) {
-  std::lock_guard lock(mu_);
-  injected_failures_[block] += count;
-}
-
 void RtSlave::set_read_fault_hook(std::function<bool(BlockId)> hook) {
   std::lock_guard lock(mu_);
   read_fault_hook_ = std::move(hook);
@@ -163,13 +169,13 @@ void RtSlave::crash() {
   worker_.request_stop();
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
-  // The process is gone: local queue, buffers and injected faults die with
-  // it. Nothing is reported back — reclaiming what the master bound here
-  // is the failure detector's job, exactly as with a real machine.
+  // The process is gone: local queue and buffers die with it. Nothing is
+  // reported back — reclaiming what the master bound here is the failure
+  // detector's job, exactly as with a real machine.
   std::lock_guard lock(mu_);
   queue_.clear();
-  buffers_.clear();
-  injected_failures_.clear();
+  buffers_.clear_all();
+  data_.clear();
   batch_blocks_.clear();
   batch_state_.clear();
   in_flight_bytes_ = 0;
@@ -194,24 +200,52 @@ void RtSlave::restart() {
   worker_ = std::jthread([this](std::stop_token st) { worker_loop(st); });
 }
 
-bool RtSlave::consume_injected_failure_locked(BlockId block) {
-  auto it = injected_failures_.find(block);
-  if (it == injected_failures_.end() || it->second <= 0) return false;
-  if (--it->second == 0) injected_failures_.erase(it);
-  return true;
+void RtSlave::admit_settled_locked(const RtMigration& next,
+                                   std::vector<core::BufferManager::Demotion>& demoted) {
+  const BlockId block = next.m.block;
+  const auto size = static_cast<std::size_t>(next.m.size);
+  if (buffers_.contains(block)) {
+    // A re-migrated block: fold the new references in; refresh the real
+    // bytes only if the block still lives in the memory tier.
+    buffers_.add_refs(block, next.m.jobs);
+    if (buffers_.tier_of(block) == Tier::Memory) data_[block].assign(size, std::byte{});
+    return;
+  }
+  const std::size_t before = demoted.size();
+  if (buffers_.try_add(block, next.m.size, next.m.jobs, &demoted, next.cycle)) {
+    // "Pin" the block: allocate and fill a real buffer, retained only
+    // while some job references it. Residency makes it a demotion victim.
+    buffers_.mark_resident(block);
+    data_[block] = std::vector<std::byte>(size);
+  }
+  // A refused admission (pressure + RefuseAdmission) still settles the
+  // migration — the block just is not buffered — and the attempt may still
+  // have forced demotions out of the ssd cascade, so process them anyway.
+  demotions_ += static_cast<long>(demoted.size() - before);
+  if (ctr_demotions_) ctr_demotions_->add(static_cast<long>(demoted.size() - before));
+  for (std::size_t i = before; i < demoted.size(); ++i) data_.erase(demoted[i].block);
+  if (gauge_memory_used_) gauge_memory_used_->set(static_cast<double>(buffers_.used()));
+  if (gauge_ssd_used_) gauge_ssd_used_->set(static_cast<double>(buffers_.ssd_used()));
+}
+
+void RtSlave::process_demotions(const std::vector<core::BufferManager::Demotion>& demoted) {
+  for (const auto& d : demoted) {
+    if (d.to == Tier::Ssd) {
+      // Pace the spill onto the flash device; beats keep the node alive.
+      ssd_.read(d.size, nullptr, [this] { beat(); });
+    }
+    // Demote events merge under the victim's own lifecycle (its admission
+    // cycle): kRankDemote sorts strictly after that cycle's terminal event.
+    emit_cycle_ = d.cookie != 0 ? d.cookie : 1;
+    emitter_.demote(now_us(), d.block, options_.node, d.from, d.to, d.size);
+  }
 }
 
 void RtSlave::drop_job(JobId job) {
   std::lock_guard lock(mu_);
   for (auto& m : queue_) m.m.jobs.erase(job);
-  for (auto it = buffers_.begin(); it != buffers_.end();) {
-    it->second.refs.erase(job);
-    if (it->second.refs.empty()) {
-      it = buffers_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Implicit eviction: buffers nobody references anymore are freed.
+  for (BlockId block : buffers_.release_job(job)) data_.erase(block);
 }
 
 double RtSlave::sec_per_byte() const {
@@ -228,14 +262,32 @@ Bytes RtSlave::bound_bytes() const {
 
 std::size_t RtSlave::buffered_count() const {
   std::lock_guard lock(mu_);
-  return buffers_.size();
+  return buffers_.buffered_count();
 }
 
 Bytes RtSlave::buffered_bytes() const {
   std::lock_guard lock(mu_);
-  Bytes total = 0;
-  for (const auto& [block, buf] : buffers_) total += static_cast<Bytes>(buf.bytes.size());
-  return total;
+  return buffers_.used() + buffers_.ssd_used();
+}
+
+Bytes RtSlave::memory_tier_bytes() const {
+  std::lock_guard lock(mu_);
+  return buffers_.used();
+}
+
+Bytes RtSlave::ssd_tier_bytes() const {
+  std::lock_guard lock(mu_);
+  return buffers_.ssd_used();
+}
+
+long RtSlave::demotions() const {
+  std::lock_guard lock(mu_);
+  return demotions_;
+}
+
+std::vector<core::BufferManager::TierDecision> RtSlave::tier_log() const {
+  std::lock_guard lock(mu_);
+  return buffers_.tier_log();
 }
 
 long RtSlave::completed() const {
@@ -332,6 +384,7 @@ void RtSlave::run_migration(RtMigration next, const std::stop_token& st) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
 
     bool failed = false;
+    std::vector<core::BufferManager::Demotion> demoted;
     {
       std::lock_guard lock(mu_);
       // The cancelled flag is re-checked even after a finished read: a
@@ -344,23 +397,19 @@ void RtSlave::run_migration(RtMigration next, const std::stop_token& st) {
         active_block_ = BlockId::invalid();
         return;  // missed read: learn nothing from it
       }
-      if (consume_injected_failure_locked(block) ||
-          (read_fault_hook_ && read_fault_hook_(block))) {
+      if (read_fault_hook_ && read_fault_hook_(block)) {
         failed = true;  // time was spent but no usable data arrived
       } else {
         estimator_.on_complete(size, duration_s);
-        // "Pin" the block: allocate and fill a real buffer, retained only
-        // while some job references it.
-        if (!next.m.jobs.empty()) {
-          Buffered buf;
-          buf.bytes.resize(static_cast<std::size_t>(size));
-          buf.refs = next.m.jobs;
-          buffers_.insert_or_assign(block, std::move(buf));
-        }
+        if (!next.m.jobs.empty()) admit_settled_locked(next, demoted);
         ++completed_;
         in_flight_bytes_ = 0;
         active_block_ = BlockId::invalid();
       }
+    }
+    if (!demoted.empty()) {
+      process_demotions(demoted);
+      emit_cycle_ = next.cycle;
     }
 
     if (!failed) {
@@ -459,24 +508,19 @@ void RtSlave::drain_batch_run(std::vector<RtMigration> batch, const std::stop_to
 
   std::vector<RtMigrationDone> dones;
   std::vector<RtMigration> faulted;
+  std::vector<core::BufferManager::Demotion> demoted;
   {
     std::lock_guard lock(mu_);
     if (crashed_) return;  // crash() already cleared the batch bookkeeping
     for (std::size_t i = 0; i < n; ++i) {
       if (batch_state_[i] != kBatchDone) continue;  // cancelled or abandoned
       const BlockId block = batch[i].m.block;
-      if (consume_injected_failure_locked(block) ||
-          (read_fault_hook_ && read_fault_hook_(block))) {
+      if (read_fault_hook_ && read_fault_hook_(block)) {
         faulted.push_back(std::move(batch[i]));
         continue;
       }
       estimator_.on_complete(batch[i].m.size, durations[i]);
-      if (!batch[i].m.jobs.empty()) {
-        Buffered buf;
-        buf.bytes.resize(static_cast<std::size_t>(batch[i].m.size));
-        buf.refs = batch[i].m.jobs;
-        buffers_.insert_or_assign(block, std::move(buf));
-      }
+      if (!batch[i].m.jobs.empty()) admit_settled_locked(batch[i], demoted);
       ++completed_;
       RtMigrationDone done;
       done.block = block;
@@ -492,6 +536,11 @@ void RtSlave::drain_batch_run(std::vector<RtMigration> batch, const std::stop_to
     in_flight_bytes_ = 0;
     active_block_ = BlockId::invalid();
   }
+
+  // Spill pacing and demote events happen outside mu_, before the cycle's
+  // coalesced report (mirroring the sim slave, which demotes at admission
+  // time, ahead of the new block's completion record).
+  if (!demoted.empty()) process_demotions(demoted);
 
   // One coalesced report for the whole drain cycle.
   if (!dones.empty() && on_complete_) on_complete_(std::move(dones));

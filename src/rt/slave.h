@@ -8,12 +8,18 @@
 // the worker when the queue runs low — the late-binding protocol of
 // §III-A1 with real threads and condition variables.
 //
-// Transient read failures (injected via inject_read_failures or a
-// probabilistic read-fault hook) are retried in place with the shared
+// Transient read failures (injected through the FaultSurface read-fault
+// hook, see set_read_fault_hook) are retried in place with the shared
 // core::RetryPolicy — capped exponential backoff on the worker thread,
 // interruptible by cancel/stop. Exhausting the budget reports the
 // migration back to the master via `on_failed`, which requeues it with
 // this node on the avoid list.
+//
+// Settled blocks land in the shared core::BufferManager over two counting
+// tiers (memory, ssd): the same SLRU segments, watermark demotion and
+// admission policy the sim slave runs, so both backends make identical
+// tier decisions. Memory -> ssd spills are paced on a second ThrottledDisk
+// (the flash device); ssd -> disk demotions drop the buffer entirely.
 //
 // With `drain_batch > 1` the worker switches to a throughput cadence: it
 // drains up to a batch of queued migrations per cycle, submits their reads
@@ -44,11 +50,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/tier_store.h"
 #include "common/ids.h"
+#include "common/tier.h"
 #include "core/lifecycle.h"
 #include "core/queue_depth.h"
 #include "core/retry_policy.h"
+#include "core/tier_policy.h"
 #include "core/types.h"
+#include "dyrs/buffer_manager.h"
 #include "dyrs/estimator.h"
 #include "obs/obs_context.h"
 #include "rt/throttled_disk.h"
@@ -79,6 +89,16 @@ class RtSlave {
   struct Options {
     NodeId node;
     Rate disk_bandwidth = mib_per_sec(100);
+    /// Flash-tier spill bandwidth: paces memory -> ssd demotion writes.
+    Rate ssd_bandwidth = mib_per_sec(500);
+    /// Buffered-tier capacities for the node's buffer manager. 0 (the
+    /// default) means unbounded, which preserves the single-tier
+    /// behaviour: every admission succeeds and nothing is demoted.
+    Bytes memory_capacity = 0;
+    Bytes ssd_capacity = 0;
+    /// Tier admission/eviction policy — shared with the sim backend via
+    /// core::ControlPlaneConfig so one knob drives both.
+    core::TierPolicy tier;
     /// Local queue depth. 0 (the default) derives it from `queue_depth`,
     /// `heartbeat_interval` and the unloaded reference-block read time —
     /// the same §III-B heuristic the sim slave applies.
@@ -142,14 +162,10 @@ class RtSlave {
   /// active one. Returns true if anything was cancelled. Thread-safe.
   bool cancel(BlockId block);
 
-  /// Fault injection (tests): the next `count` reads of `block` complete
-  /// but yield no usable data, exercising the local retry path.
-  void inject_read_failures(BlockId block, int count);
-
-  /// Probabilistic read-fault hook (RtFaultInjector): consulted after
-  /// every finished read; returning true fails the read as if the device
-  /// surfaced an I/O error. Replaces ad-hoc per-block injection for
-  /// window-based fault plans. Thread-safe; pass nullptr to clear.
+  /// Read-fault hook (the FaultSurface; tests and RtFaultInjector):
+  /// consulted after every finished read; returning true fails the read as
+  /// if the device surfaced an I/O error, exercising the local retry path.
+  /// Thread-safe; pass nullptr to clear.
   void set_read_fault_hook(std::function<bool(BlockId)> hook);
 
   // --- failure surface (driven by RtFaultInjector / RtMaster) -----------
@@ -187,6 +203,14 @@ class RtSlave {
   /// Buffered blocks migrated so far (copies real bytes into real memory).
   std::size_t buffered_count() const;
   Bytes buffered_bytes() const;
+  /// Per-tier occupancy of the buffer manager. Thread-safe.
+  Bytes memory_tier_bytes() const;
+  Bytes ssd_tier_bytes() const;
+  /// Blocks demoted downward by capacity pressure (memory -> ssd -> disk).
+  long demotions() const;
+  /// Copy of the buffer manager's admission/demotion decision log — the
+  /// sim-vs-rt differential test compares per-node projections of this.
+  std::vector<core::BufferManager::TierDecision> tier_log() const;
   long completed() const;
   /// Transient failures absorbed by a local retry.
   long retries() const;
@@ -197,11 +221,6 @@ class RtSlave {
   void stop();
 
  private:
-  struct Buffered {
-    std::vector<std::byte> bytes;
-    std::map<JobId, core::EvictionMode> refs;
-  };
-
   /// Applies the derived queue capacity (§III-B) when the caller left it
   /// 0 — resolved before the worker starts, so no synchronization needed.
   static Options resolve(Options options);
@@ -224,7 +243,14 @@ class RtSlave {
   /// Members that surface transient read faults fall back to the classic
   /// per-block retry path after the flush.
   void drain_batch_run(std::vector<RtMigration> batch, const std::stop_token& st);
-  bool consume_injected_failure_locked(BlockId block);
+  /// Admits a settled migration into the buffer manager (or folds new refs
+  /// into an already-buffered block), appending any demotions it forced to
+  /// `demoted`. Caller holds mu_ and processes `demoted` after releasing it.
+  void admit_settled_locked(const RtMigration& next,
+                            std::vector<core::BufferManager::Demotion>& demoted);
+  /// Paces memory -> ssd spills on the flash device and emits the
+  /// mig_demote lifecycle events. Worker thread, outside mu_.
+  void process_demotions(const std::vector<core::BufferManager::Demotion>& demoted);
   /// Publishes a heartbeat unless partitioned.
   void beat();
 
@@ -233,12 +259,19 @@ class RtSlave {
   Options options_;
   const std::chrono::steady_clock::time_point epoch_;
   ThrottledDisk disk_;
+  /// The flash spill device: demotion writes are paced here, outside mu_.
+  ThrottledDisk ssd_;
   std::function<void(std::vector<RtMigrationDone>)> on_complete_;
   std::function<std::vector<RtMigration>(NodeId, int)> pull_;
   std::function<void(NodeId, RtMigration)> on_failed_;
   /// Wall-clock latency of each master pull, recorded by the worker thread
   /// only (histograms are single-writer); null when metrics are off.
   obs::Histogram* pull_latency_ = nullptr;
+  /// Per-tier occupancy gauges + demotion counter; null when metrics are
+  /// off. Cached before the worker starts, refreshed at settlement.
+  obs::Gauge* gauge_memory_used_ = nullptr;
+  obs::Gauge* gauge_ssd_used_ = nullptr;
+  obs::Counter* ctr_demotions_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -251,8 +284,16 @@ class RtSlave {
   std::vector<std::uint8_t> batch_state_;
   std::atomic<bool> active_cancelled_{false};
   core::MigrationEstimator estimator_;
-  std::unordered_map<BlockId, Buffered> buffers_;
-  std::unordered_map<BlockId, int> injected_failures_;
+  /// Capacity accounting for the buffered tiers (mutated under mu_ through
+  /// buffers_); capacity 0 reads as unbounded.
+  cluster::CountingTier mem_tier_;
+  cluster::CountingTier ssd_tier_;
+  /// Shared tier engine (SLRU segments, watermark demotion); under mu_.
+  core::BufferManager buffers_;
+  /// Real bytes for *memory-resident* blocks (under mu_). A demotion spills
+  /// or drops the in-memory copy, so ssd-tier blocks carry no bytes here.
+  std::unordered_map<BlockId, std::vector<std::byte>> data_;
+  long demotions_ = 0;                            // under mu_
   std::function<bool(BlockId)> read_fault_hook_;  // under mu_
   bool crashed_ = false;                          // under mu_
   std::atomic<bool> partitioned_{false};

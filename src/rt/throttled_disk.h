@@ -27,16 +27,32 @@ namespace dyrs::rt {
 class ThrottledDisk {
  public:
   /// `bandwidth` in bytes per wall-clock second.
-  explicit ThrottledDisk(Rate bandwidth) : bandwidth_(bandwidth) {
+  explicit ThrottledDisk(Rate bandwidth) : nominal_(bandwidth), bandwidth_(bandwidth) {
     DYRS_CHECK(bandwidth > 0);
   }
 
+  /// Effective rate: nominal * degradation.
   Rate bandwidth() const { return bandwidth_.load(std::memory_order_relaxed); }
 
-  void set_bandwidth(Rate bandwidth) {
+  /// Reconfigures the device's nominal rate; any active degradation factor
+  /// keeps applying multiplicatively, so a fault-injection episode can
+  /// never clobber a reconfigured nominal rate (or vice versa).
+  void set_nominal_bandwidth(Rate bandwidth) {
     DYRS_CHECK(bandwidth > 0);
-    bandwidth_.store(bandwidth, std::memory_order_relaxed);
+    nominal_.store(bandwidth, std::memory_order_relaxed);
+    update_effective();
   }
+
+  /// Multiplicative bandwidth degradation episode (fault injection): the
+  /// effective rate becomes nominal * factor until restored with 1.0.
+  void set_degradation(double factor) {
+    DYRS_CHECK(factor > 0);
+    degradation_.store(factor, std::memory_order_relaxed);
+    update_effective();
+  }
+
+  double degradation() const { return degradation_.load(std::memory_order_relaxed); }
+  Rate nominal_bandwidth() const { return nominal_.load(std::memory_order_relaxed); }
 
   /// Blocks the caller for bytes/bandwidth seconds, sliced so mid-read
   /// bandwidth changes and cancellation take effect promptly. `on_slice`
@@ -146,7 +162,15 @@ class ThrottledDisk {
   }
 
  private:
-  std::atomic<Rate> bandwidth_;
+  void update_effective() {
+    bandwidth_.store(nominal_.load(std::memory_order_relaxed) *
+                         degradation_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
+  std::atomic<Rate> nominal_;
+  std::atomic<double> degradation_{1.0};
+  std::atomic<Rate> bandwidth_;  // cached nominal * degradation
 };
 
 }  // namespace dyrs::rt

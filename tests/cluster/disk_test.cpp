@@ -63,7 +63,7 @@ TEST(Disk, CancelInFlightIo) {
 TEST(Disk, SetBandwidthModelsDegradedDrive) {
   sim::Simulator sim;
   Disk disk(sim, {.name = "d", .bandwidth = mib_per_sec(100), .seek_alpha = 0.0});
-  disk.set_bandwidth(mib_per_sec(25));
+  disk.set_nominal_bandwidth(mib_per_sec(25));
   SimTime done = -1;
   disk.start_io(IoClass::TaskRead, mib(50), [&](SimTime t) { done = t; });
   sim.run();

@@ -67,7 +67,7 @@ Outcome sim_run(core::Ordering ordering, const std::vector<std::pair<JobId, int>
   testing::MiniDfs dfs(std::move(o));
   if (heterogeneous) {
     for (int i = 0; i < num_nodes; ++i) {
-      dfs.cluster->node(NodeId(i)).disk().set_bandwidth(bandwidth_of(i));
+      dfs.cluster->node(NodeId(i)).disk().set_nominal_bandwidth(bandwidth_of(i));
     }
   }
 
@@ -244,6 +244,165 @@ TEST(Differential, ShardedExchangeBindsIdenticallyToSim) {
   EXPECT_EQ(sim_out.bindings, rt_shd.bindings);
   EXPECT_EQ(rt_ref.bindings, rt_shd.bindings);
   check_traces(sim_out, rt_shd);
+}
+
+// --- tier decisions ------------------------------------------------------
+// Both backends run the same BufferManager against the same TierPolicy, so
+// under identical bindings the per-node sequence of tier decisions
+// (admissions and pressure demotions) must be identical too — the sim
+// admits at migration start and the rt backend at settlement, but per node
+// both process blocks serialized in binding order with every prior block
+// already resident.
+
+using TierLog = std::map<NodeId, std::vector<core::BufferManager::TierDecision>>;
+
+struct TierOutcome {
+  TierLog logs;
+  long demotions = 0;
+  std::vector<obs::TraceEvent> events;
+};
+
+TierOutcome sim_tier_run(core::TierPolicy tier, Bytes limit,
+                         const std::vector<std::pair<JobId, int>>& jobs) {
+  testing::MiniDfs::Options o;
+  o.num_nodes = kNodes;
+  o.replication = 2;
+  o.block_size = kBlock;
+  o.placement = std::make_unique<dfs::RoundRobinPlacement>();
+  testing::MiniDfs dfs(std::move(o));
+  for (int i = 0; i < kNodes; ++i) {
+    dfs.cluster->node(NodeId(i)).disk().set_nominal_bandwidth(bandwidth_of(i));
+  }
+
+  core::MasterConfig cfg;
+  cfg.retarget_interval = minutes(10);
+  cfg.slave.reference_block = kBlock;
+  cfg.slave.memory_limit = limit;
+  cfg.tier = tier;
+  auto master = core::make_dyrs(*dfs.cluster, *dfs.namenode, cfg);
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::MemorySink sink;
+  tracer.set_sink(&sink);
+  master->set_observability(obs::ObsContext(&registry, &tracer));
+
+  long expected = 0;
+  for (const auto& [job, count] : jobs) {
+    const std::string file = "/input-" + std::to_string(job.value());
+    dfs.namenode->create_file(file, kBlock * count);
+    master->migrate_files(job, {file}, core::EvictionMode::Explicit);
+    expected += count;
+  }
+  dfs.sim.run_until(minutes(2));
+  EXPECT_EQ(master->migrations_completed(), expected);
+
+  TierOutcome out;
+  for (int n = 0; n < kNodes; ++n) {
+    const auto& slave = master->slave(NodeId(n));
+    out.logs[NodeId(n)] = slave.buffers().tier_log();
+    out.demotions += slave.demotions();
+  }
+  out.events = sink.events();
+  return out;
+}
+
+TierOutcome rt_tier_run(core::TierPolicy tier, Bytes limit,
+                        const std::vector<std::pair<JobId, int>>& jobs) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ThreadLocalBufferSink sink;
+  tracer.set_sink(&sink);
+
+  rt::RtMaster::Options options;
+  for (int n = 0; n < kNodes; ++n) {
+    rt::RtSlave::Options s;
+    s.node = NodeId(n);
+    s.disk_bandwidth = bandwidth_of(n);
+    s.queue_capacity = 2;
+    s.reference_block = kBlock;
+    s.memory_capacity = limit;
+    options.slaves.push_back(s);
+  }
+  options.retarget_interval = 60s;
+  options.tier = tier;  // forwarded to every slave left at the defaults
+  options.obs = obs::ObsContext(&registry, &tracer);
+  rt::RtMaster master(std::move(options));
+
+  std::vector<rt::RtBlock> blocks;
+  int next_block = 0;
+  for (const auto& [job, count] : jobs) {
+    for (int i = 0; i < count; ++i, ++next_block) {
+      rt::RtBlock b;
+      b.block = BlockId(next_block);
+      b.size = kBlock;
+      for (int r = 0; r < 2; ++r) b.replicas.push_back(NodeId((next_block + r) % kNodes));
+      b.job = job;
+      blocks.push_back(std::move(b));
+    }
+  }
+  master.migrate(blocks);
+  EXPECT_TRUE(master.wait_idle(30s));
+
+  TierOutcome out;
+  for (int n = 0; n < kNodes; ++n) {
+    out.logs[NodeId(n)] = master.slave(NodeId(n)).tier_log();
+    out.demotions += master.slave(NodeId(n)).demotions();
+  }
+  master.shutdown();
+  out.events = sink.merge_thread_buffers();
+  return out;
+}
+
+void check_tier_traces(const TierOutcome& sim, const TierOutcome& rt) {
+  obs::TraceInvariants sim_oracle;
+  sim_oracle.profile = obs::TraceInvariants::Profile::Sim;
+  const auto sim_report = sim_oracle.check(obs::TraceReader(sim.events));
+  EXPECT_TRUE(sim_report.ok()) << sim_report.summary();
+  EXPECT_EQ(sim_report.demotions, static_cast<std::size_t>(sim.demotions));
+
+  obs::TraceInvariants rt_oracle;
+  rt_oracle.profile = obs::TraceInvariants::Profile::Rt;
+  const auto rt_report = rt_oracle.check(obs::TraceReader(rt.events));
+  EXPECT_TRUE(rt_report.ok()) << rt_report.summary();
+  EXPECT_EQ(rt_report.demotions, static_cast<std::size_t>(rt.demotions));
+}
+
+TEST(Differential, EvictColdFirstTierDecisionsAreIdentical) {
+  // A 2-block memory cap with unbounded SSD: every node's third admission
+  // must demote its coldest resident block, on both backends, in the same
+  // per-node order.
+  const std::vector<std::pair<JobId, int>> jobs = {{JobId(1), 16}};
+  core::TierPolicy tier;
+  tier.on_pressure = core::TierPolicy::OnPressure::EvictColdFirst;
+
+  const TierOutcome sim_out = sim_tier_run(tier, 2 * kBlock, jobs);
+  const TierOutcome rt_out = rt_tier_run(tier, 2 * kBlock, jobs);
+
+  EXPECT_GT(sim_out.demotions, 0);
+  EXPECT_EQ(sim_out.demotions, rt_out.demotions);
+  EXPECT_EQ(sim_out.logs, rt_out.logs);
+  check_tier_traces(sim_out, rt_out);
+}
+
+TEST(Differential, WatermarkDemotionsAreIdentical) {
+  // Watermarks with refuse-admission pressure: crossing 75% of the 4-block
+  // cap drains memory down to 50% by demoting cold blocks. The drain keeps
+  // admissions from ever being refused, and the decision sequence must
+  // match across backends.
+  const std::vector<std::pair<JobId, int>> jobs = {{JobId(1), 16}};
+  core::TierPolicy tier;
+  tier.high_watermark = 0.75;
+  tier.low_watermark = 0.5;
+  tier.on_pressure = core::TierPolicy::OnPressure::RefuseAdmission;
+
+  const TierOutcome sim_out = sim_tier_run(tier, 4 * kBlock, jobs);
+  const TierOutcome rt_out = rt_tier_run(tier, 4 * kBlock, jobs);
+
+  EXPECT_GT(sim_out.demotions, 0);
+  EXPECT_EQ(sim_out.demotions, rt_out.demotions);
+  EXPECT_EQ(sim_out.logs, rt_out.logs);
+  check_tier_traces(sim_out, rt_out);
 }
 
 // SJF forces the incremental engine's full-sweep fallback (global job

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "cluster/memory.h"
+#include "cluster/ssd.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "sim/simulator.h"
@@ -156,6 +158,238 @@ TEST_F(BufferFixture, DoubleAddThrows) {
 TEST_F(BufferFixture, EmptyRefsThrow) {
   BufferManager bm(memory);
   EXPECT_THROW(bm.try_add(BlockId(1), mib(64), {}), CheckError);
+}
+
+// --- edge cases around the limits ---------------------------------------
+
+TEST_F(BufferFixture, AdmissionExactlyAtHardLimit) {
+  // A block that lands used() exactly on the limit is admitted; the next
+  // byte is refused.
+  BufferManager bm(memory, mib(300));
+  EXPECT_TRUE(bm.try_add(BlockId(1), mib(300), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_EQ(bm.used(), bm.limit());
+  EXPECT_FALSE(bm.try_add(BlockId(2), mib(1), refs({{1, EvictionMode::Explicit}})));
+  // And a single block larger than the limit can never be admitted.
+  BufferManager small(memory, mib(100));
+  EXPECT_FALSE(small.try_add(BlockId(3), mib(100) + 1, refs({{1, EvictionMode::Explicit}})));
+}
+
+TEST_F(BufferFixture, OverThresholdAtExactBoundary) {
+  // over_threshold is >= (crossing the watermark triggers the drain), so
+  // used() exactly at fraction * limit counts as over.
+  BufferManager bm(memory, mib(100));
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(90), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_TRUE(bm.over_threshold(0.9));
+  EXPECT_FALSE(bm.over_threshold(0.91));
+  ASSERT_TRUE(bm.try_add(BlockId(2), mib(10), refs({{1, EvictionMode::Explicit}})));
+  EXPECT_TRUE(bm.over_threshold(1.0));
+}
+
+TEST_F(BufferFixture, ScavengeRacingReleaseJob) {
+  // The scheduler reports job 1 dead right as its explicit release lands:
+  // whichever runs second must see consistent bookkeeping and evict
+  // nothing twice.
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  ASSERT_TRUE(bm.try_add(BlockId(2), mib(64),
+                         refs({{1, EvictionMode::Explicit}, {2, EvictionMode::Explicit}})));
+  auto released = bm.release_job(JobId(1));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], BlockId(1));
+  auto scavenged = bm.scavenge([](JobId id) { return id != JobId(1); });
+  EXPECT_TRUE(scavenged.empty());  // job 1's references are already gone
+  EXPECT_TRUE(bm.contains(BlockId(2)));
+  EXPECT_EQ(bm.used(), mib(64));
+  EXPECT_EQ(memory.pinned(), mib(64));
+  // The reverse order: scavenge first, then the (now stale) release.
+  auto scavenged2 = bm.scavenge([](JobId) { return false; });
+  ASSERT_EQ(scavenged2.size(), 1u);
+  EXPECT_TRUE(bm.release_job(JobId(2)).empty());
+  EXPECT_EQ(memory.pinned(), 0);
+}
+
+TEST_F(BufferFixture, ForceEvictWithLiveReferencesLeavesJobConsistent) {
+  // A cancelled migration force-drops its block while the job still
+  // references another: only the victim goes, and the job's remaining
+  // bookkeeping stays intact.
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  ASSERT_TRUE(bm.try_add(BlockId(2), mib(64), refs({{1, EvictionMode::Explicit}})));
+  bm.force_evict(BlockId(1));
+  EXPECT_FALSE(bm.contains(BlockId(1)));
+  EXPECT_TRUE(bm.contains(BlockId(2)));
+  EXPECT_EQ(memory.pinned(), mib(64));
+  auto evicted = bm.release_job(JobId(1));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], BlockId(2));
+  EXPECT_EQ(memory.pinned(), 0);
+}
+
+TEST_F(BufferFixture, MarkResidentOnEvictedReservationIsNoop) {
+  // An implicit read can evict an unreferenced reservation while its data
+  // is still arriving; the completion's mark_resident must be a no-op.
+  BufferManager bm(memory);
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Implicit}})));
+  ASSERT_EQ(bm.on_block_read(BlockId(1), JobId(1)).size(), 1u);
+  bm.mark_resident(BlockId(1));  // must not throw
+  EXPECT_FALSE(bm.contains(BlockId(1)));
+}
+
+// --- tier hierarchy -------------------------------------------------------
+
+struct TierFixture : BufferFixture {
+  cluster::Ssd ssd{sim, {.capacity = gib(1), .read_bandwidth = mib_per_sec(500)}};
+
+  static TierPolicy evict_cold() {
+    TierPolicy p;
+    p.on_pressure = TierPolicy::OnPressure::EvictColdFirst;
+    return p;
+  }
+
+  /// Admits a resident (completed) 64 MiB block referenced by job 1.
+  void add_resident(BufferManager& bm, int id,
+                    std::vector<BufferManager::Demotion>* demotions = nullptr) {
+    ASSERT_TRUE(bm.try_add(BlockId(id), mib(64), refs({{1, EvictionMode::Explicit}}),
+                           demotions, /*cookie=*/static_cast<std::uint64_t>(id)));
+    bm.mark_resident(BlockId(id));
+  }
+};
+
+TEST_F(TierFixture, EvictColdFirstDemotesColdestToSsd) {
+  BufferManager bm(memory, &ssd, evict_cold(), mib(128));  // two blocks
+  std::vector<BufferManager::Demotion> demoted;
+  add_resident(bm, 1);
+  add_resident(bm, 2);
+  add_resident(bm, 3, &demoted);  // pressure: block 1 (coldest) demotes
+  ASSERT_EQ(demoted.size(), 1u);
+  EXPECT_EQ(demoted[0].block, BlockId(1));
+  EXPECT_EQ(demoted[0].from, Tier::Memory);
+  EXPECT_EQ(demoted[0].to, Tier::Ssd);
+  EXPECT_EQ(demoted[0].size, mib(64));
+  EXPECT_EQ(demoted[0].cookie, 1u);  // the victim's admission cookie
+  EXPECT_EQ(bm.tier_of(BlockId(1)), Tier::Ssd);
+  EXPECT_EQ(bm.tier_of(BlockId(3)), Tier::Memory);
+  EXPECT_EQ(bm.used(), mib(128));
+  EXPECT_EQ(bm.ssd_used(), mib(64));
+  EXPECT_EQ(ssd.used(), mib(64));
+  // Demoted blocks stay buffered and keep their references.
+  EXPECT_TRUE(bm.contains(BlockId(1)));
+  auto evicted = bm.release_job(JobId(1));
+  EXPECT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(ssd.used(), 0);
+  EXPECT_EQ(memory.pinned(), 0);
+}
+
+TEST_F(TierFixture, ReservationsAreNeverDemotionVictims) {
+  // Both buffered blocks are still arriving: there is no safe victim, so
+  // admission under pressure must refuse rather than demote one.
+  BufferManager bm(memory, &ssd, evict_cold(), mib(128));
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}})));
+  ASSERT_TRUE(bm.try_add(BlockId(2), mib(64), refs({{1, EvictionMode::Explicit}})));
+  std::vector<BufferManager::Demotion> demoted;
+  EXPECT_FALSE(bm.try_add(BlockId(3), mib(64), refs({{1, EvictionMode::Explicit}}), &demoted));
+  EXPECT_TRUE(demoted.empty());
+  EXPECT_EQ(bm.used(), mib(128));
+}
+
+TEST_F(TierFixture, SlruReadProtectsHotBlocksFromDemotion) {
+  BufferManager bm(memory, &ssd, evict_cold(), mib(128));
+  add_resident(bm, 1);
+  add_resident(bm, 2);
+  // A read renews demand for block 1: it moves to the protected segment,
+  // so the probationary block 2 is the next victim despite being newer.
+  bm.on_block_read(BlockId(1), JobId(99));  // non-referencing: touch only
+  std::vector<BufferManager::Demotion> demoted;
+  add_resident(bm, 3, &demoted);
+  ASSERT_EQ(demoted.size(), 1u);
+  EXPECT_EQ(demoted[0].block, BlockId(2));
+  EXPECT_EQ(bm.tier_of(BlockId(1)), Tier::Memory);
+}
+
+TEST_F(TierFixture, WatermarkCrossingDrainsToLowMark) {
+  TierPolicy p;  // refuse on pressure, but watermarks drain first
+  p.high_watermark = 0.8;
+  p.low_watermark = 0.5;
+  BufferManager bm(memory, &ssd, p, mib(320));  // high at 256, low at 160
+  std::vector<BufferManager::Demotion> demoted;
+  add_resident(bm, 1);
+  add_resident(bm, 2);
+  add_resident(bm, 3);
+  EXPECT_TRUE(demoted.empty());
+  add_resident(bm, 4, &demoted);  // 256 MiB >= high: drain to <= 160
+  ASSERT_EQ(demoted.size(), 2u);
+  EXPECT_EQ(demoted[0].block, BlockId(1));
+  EXPECT_EQ(demoted[1].block, BlockId(2));
+  EXPECT_EQ(bm.used(), mib(128));
+  EXPECT_EQ(bm.ssd_used(), mib(128));
+  // The block that triggered the drain is never its victim.
+  EXPECT_EQ(bm.tier_of(BlockId(4)), Tier::Memory);
+}
+
+TEST_F(TierFixture, SsdOverflowCascadesToDisk) {
+  // SSD fits one block. The second memory demotion must first push the
+  // coldest SSD block off the bottom of the hierarchy (refs dropped, block
+  // evicted) to make room.
+  cluster::Ssd tiny{sim, {.capacity = mib(64), .read_bandwidth = mib_per_sec(500)}};
+  BufferManager bm(memory, &tiny, evict_cold(), mib(128));
+  std::vector<BufferManager::Demotion> demoted;
+  add_resident(bm, 1);
+  add_resident(bm, 2);
+  add_resident(bm, 3, &demoted);  // block 1 -> ssd
+  ASSERT_EQ(demoted.size(), 1u);
+  demoted.clear();
+  add_resident(bm, 4, &demoted);  // block 1 -> disk, block 2 -> ssd
+  ASSERT_EQ(demoted.size(), 2u);
+  EXPECT_EQ(demoted[0].block, BlockId(1));
+  EXPECT_EQ(demoted[0].from, Tier::Ssd);
+  EXPECT_EQ(demoted[0].to, Tier::Disk);
+  EXPECT_EQ(demoted[1].block, BlockId(2));
+  EXPECT_EQ(demoted[1].to, Tier::Ssd);
+  EXPECT_FALSE(bm.contains(BlockId(1)));  // off the hierarchy entirely
+  EXPECT_EQ(tiny.used(), mib(64));
+  EXPECT_EQ(bm.used(), mib(128));
+}
+
+TEST_F(TierFixture, TierLogRecordsAdmissionsAndDemotionsInOrder) {
+  BufferManager bm(memory, &ssd, evict_cold(), mib(128));
+  std::vector<BufferManager::Demotion> demoted;
+  add_resident(bm, 1);
+  add_resident(bm, 2);
+  add_resident(bm, 3, &demoted);
+  const std::vector<BufferManager::TierDecision> expected = {
+      {BlockId(1), Tier::Disk, Tier::Memory},
+      {BlockId(2), Tier::Disk, Tier::Memory},
+      {BlockId(1), Tier::Memory, Tier::Ssd},
+      {BlockId(3), Tier::Disk, Tier::Memory},
+  };
+  EXPECT_EQ(bm.tier_log(), expected);
+}
+
+TEST_F(TierFixture, SsdAdmissionTierBuffersOnFlash) {
+  TierPolicy p = evict_cold();
+  p.admit_tier = Tier::Ssd;
+  BufferManager bm(memory, &ssd, p, mib(128));
+  std::vector<BufferManager::Demotion> demoted;
+  ASSERT_TRUE(bm.try_add(BlockId(1), mib(64), refs({{1, EvictionMode::Explicit}}), &demoted));
+  EXPECT_EQ(bm.tier_of(BlockId(1)), Tier::Ssd);
+  EXPECT_EQ(bm.used(), 0);
+  EXPECT_EQ(bm.ssd_used(), mib(64));
+  EXPECT_EQ(memory.pinned(), 0);
+}
+
+TEST_F(TierFixture, ClearAllReleasesBothTiers) {
+  BufferManager bm(memory, &ssd, evict_cold(), mib(128));
+  std::vector<BufferManager::Demotion> demoted;
+  add_resident(bm, 1);
+  add_resident(bm, 2);
+  add_resident(bm, 3, &demoted);  // one block now on ssd
+  ASSERT_EQ(bm.ssd_used(), mib(64));
+  auto had = bm.clear_all();
+  EXPECT_EQ(had.size(), 3u);
+  EXPECT_EQ(bm.used(), 0);
+  EXPECT_EQ(bm.ssd_used(), 0);
+  EXPECT_EQ(memory.pinned(), 0);
+  EXPECT_EQ(ssd.used(), 0);
 }
 
 // Invariant sweep: after arbitrary interleavings of add/release/read, used()

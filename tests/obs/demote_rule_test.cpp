@@ -1,0 +1,92 @@
+// The `demote` invariant rule: a mig_demote acts on settled data, so the
+// block must have a prior mig_complete on that node, and the move must be
+// strictly downward through known tiers. Synthetic traces pin down the
+// rule in isolation; end-to-end coverage (real demoting runs coming out
+// clean) lives in the tier eviction tests and the fig07 capacity sweep.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_invariants.h"
+#include "obs/trace_reader.h"
+
+namespace dyrs::obs {
+namespace {
+
+TraceEvent complete(SimTime at, int block, int node) {
+  TraceEvent e(at, "mig_complete");
+  e.with("block", block).with("node", node).with("size", static_cast<std::int64_t>(mib(256)));
+  return e;
+}
+
+TraceEvent demote(SimTime at, int block, int node, const std::string& from,
+                  const std::string& to) {
+  TraceEvent e(at, "mig_demote");
+  e.with("block", block).with("node", node).with("from", from).with("to", to)
+      .with("size", static_cast<std::int64_t>(mib(256)));
+  return e;
+}
+
+std::size_t demote_violations(const InvariantReport& report) {
+  std::size_t n = 0;
+  for (const auto& v : report.violations) {
+    if (v.rule == "demote") ++n;
+  }
+  return n;
+}
+
+InvariantReport check(std::vector<TraceEvent> events) {
+  return TraceInvariants{}.check(TraceReader(std::move(events)));
+}
+
+TEST(DemoteRule, DownwardDemoteAfterCompletePasses) {
+  const auto report =
+      check({complete(10, 7, 0), demote(20, 7, 0, "memory", "ssd")});
+  EXPECT_EQ(report.demotions, 1u);
+  EXPECT_EQ(demote_violations(report), 0u) << report.summary();
+}
+
+TEST(DemoteRule, WholeChainDownToDiskPasses) {
+  // memory -> ssd -> disk, and the memory -> disk shortcut (no SSD room).
+  const auto report = check({complete(10, 7, 0), demote(20, 7, 0, "memory", "ssd"),
+                             demote(30, 7, 0, "ssd", "disk"), complete(12, 8, 0),
+                             demote(40, 8, 0, "memory", "disk")});
+  EXPECT_EQ(report.demotions, 3u);
+  EXPECT_EQ(demote_violations(report), 0u) << report.summary();
+}
+
+TEST(DemoteRule, UpwardMoveFlagged) {
+  const auto report =
+      check({complete(10, 7, 0), demote(20, 7, 0, "ssd", "memory")});
+  EXPECT_EQ(demote_violations(report), 1u);
+}
+
+TEST(DemoteRule, SelfMoveFlagged) {
+  const auto report =
+      check({complete(10, 7, 0), demote(20, 7, 0, "ssd", "ssd")});
+  EXPECT_EQ(demote_violations(report), 1u);
+}
+
+TEST(DemoteRule, UnknownTierFlagged) {
+  const auto report =
+      check({complete(10, 7, 0), demote(20, 7, 0, "tape", "disk")});
+  EXPECT_EQ(demote_violations(report), 1u);
+}
+
+TEST(DemoteRule, DemoteWithoutPriorCompleteFlagged) {
+  const auto report = check({demote(20, 7, 0, "memory", "ssd")});
+  EXPECT_EQ(demote_violations(report), 1u);
+}
+
+TEST(DemoteRule, CompleteOnOtherNodeDoesNotCount) {
+  // Block 7 settled on node 1; a demote on node 0 is acting on data that
+  // never arrived there.
+  const auto report =
+      check({complete(10, 7, 1), demote(20, 7, 0, "memory", "ssd")});
+  EXPECT_EQ(demote_violations(report), 1u);
+}
+
+}  // namespace
+}  // namespace dyrs::obs

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,7 +71,7 @@ TEST(ThrottledDisk, BandwidthChangeMidRead) {
   ThrottledDisk disk(mib_per_sec(10));  // 4MiB would take 400ms
   std::jthread booster([&] {
     std::this_thread::sleep_for(20ms);
-    disk.set_bandwidth(mib_per_sec(1000));
+    disk.set_nominal_bandwidth(mib_per_sec(1000));
   });
   const auto start = std::chrono::steady_clock::now();
   EXPECT_TRUE(disk.read(mib(4)));
@@ -110,7 +112,7 @@ TEST(RtMaster, EstimatorAdaptsToSlowdown) {
   master.migrate(blocks_on_all(4, 1));
   ASSERT_TRUE(master.wait_idle(10s));
   const double fast = master.slave(NodeId(0)).sec_per_byte();
-  master.slave(NodeId(0)).disk().set_bandwidth(mib_per_sec(20));
+  master.slave(NodeId(0)).disk().set_nominal_bandwidth(mib_per_sec(20));
   master.migrate(blocks_on_all(4, 1));  // block ids reused: fine, new entries
   ASSERT_TRUE(master.wait_idle(30s));
   EXPECT_GT(master.slave(NodeId(0)).sec_per_byte(), fast * 3);
@@ -252,7 +254,11 @@ TEST(RtMaster, RetryExhaustionRetargetsAwayFromBadReplica) {
   auto slow = slave_opts(1, mib_per_sec(50));
   fast.retry = {.max_attempts = 3, .backoff = milliseconds(1), .backoff_cap = milliseconds(4)};
   RtMaster master({.slaves = {fast, slow}, .retarget_interval = 2ms});
-  master.slave(NodeId(0)).inject_read_failures(BlockId(7), 3);
+  // FaultSurface-style read-fault hook: the first 3 reads of block 7 fail.
+  master.slave(NodeId(0)).set_read_fault_hook(
+      [count = std::make_shared<std::atomic<int>>(3)](BlockId b) {
+        return b == BlockId(7) && count->fetch_sub(1) > 0;
+      });
   master.migrate({{BlockId(7), mib(1), {NodeId(0), NodeId(1)}, JobId(1)}});
   ASSERT_TRUE(master.wait_idle(10s));
   EXPECT_EQ(master.completed(), 1);
@@ -270,7 +276,11 @@ TEST(RtMaster, UntargetableMigrationIsDroppedNotHung) {
   auto opts = slave_opts(0, mib_per_sec(400));
   opts.retry = {.max_attempts = 2, .backoff = milliseconds(1), .backoff_cap = milliseconds(2)};
   RtMaster master({.slaves = {opts}, .retarget_interval = 2ms});
-  master.slave(NodeId(0)).inject_read_failures(BlockId(3), 2);
+  // FaultSurface-style read-fault hook: the first 2 reads of block 3 fail.
+  master.slave(NodeId(0)).set_read_fault_hook(
+      [count = std::make_shared<std::atomic<int>>(2)](BlockId b) {
+        return b == BlockId(3) && count->fetch_sub(1) > 0;
+      });
   master.migrate({{BlockId(3), mib(1), {NodeId(0)}, JobId(1)}});
   ASSERT_TRUE(master.wait_idle(10s));
   EXPECT_EQ(master.completed(), 0);
